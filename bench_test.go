@@ -1,0 +1,204 @@
+package schemanet_test
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§VI), plus micro-benchmarks of the hot paths. Each
+// Benchmark<TableN|FigN> runs the corresponding experiment in quick
+// mode (scaled datasets, fewer runs — same shape); use
+// `go run ./cmd/repro -exp <name> -full` for paper-scale parameters.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"schemanet"
+	"schemanet/internal/constraints"
+	"schemanet/internal/core"
+	"schemanet/internal/datagen"
+	"schemanet/internal/experiments"
+	"schemanet/internal/instantiate"
+	"schemanet/internal/matcher"
+	"schemanet/internal/sampling"
+)
+
+// runExperiment is the common driver for the per-table/figure benches.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	runner := experiments.Lookup(name)
+	if runner == nil {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := runner(experiments.Config{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkTableIII(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkFig6(b *testing.B)     { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)     { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)     { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)     { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)    { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)    { runExperiment(b, "fig11") }
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+func BenchmarkRobust(b *testing.B)   { runExperiment(b, "robust") }
+
+// --- Micro-benchmarks -------------------------------------------------
+
+// benchNetwork builds a synthetic network with the given candidate
+// count for micro-benchmarks.
+func benchNetwork(b *testing.B, size int) (*constraints.Engine, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	attrs := size / 16
+	if attrs < 12 {
+		attrs = 12
+	}
+	d, err := datagen.SyntheticNetwork(datagen.Profile{
+		Name: "bench", Domain: datagen.PurchaseOrder(),
+		NumSchemas: 8, MinAttrs: attrs, MaxAttrs: attrs + 4,
+		PoolFactor: 1.3, SynonymProb: 0.2, AbbrevProb: 0.15, EdgeProb: 0.5,
+	}, datagen.SyntheticOpts{
+		TargetCount: size, Precision: 0.67, ConflictBias: 0.7, StrictCount: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return constraints.Default(d.Network), rng
+}
+
+// BenchmarkSamplePerEmission measures the cost of one emitted matching
+// instance (the Figure 6 quantity) at three network sizes.
+func BenchmarkSamplePerEmission(b *testing.B) {
+	for _, size := range []int{128, 512, 2048} {
+		b.Run(benchName(size), func(b *testing.B) {
+			e, rng := benchNetwork(b, size)
+			s := sampling.NewSampler(e, sampling.DefaultConfig(), rng)
+			store := sampling.NewStore(e.Network().NumCandidates(), 1<<30)
+			b.ResetTimer()
+			s.SampleInto(store, nil, nil, b.N)
+		})
+	}
+}
+
+func benchName(size int) string {
+	switch size {
+	case 128:
+		return "C=128"
+	case 512:
+		return "C=512"
+	default:
+		return "C=2048"
+	}
+}
+
+// BenchmarkRepair measures Algorithm 4 on a maximal instance.
+func BenchmarkRepair(b *testing.B) {
+	e, rng := benchNetwork(b, 512)
+	inst := e.NewInstance()
+	e.Maximize(inst, nil, rng)
+	n := e.Network().NumCandidates()
+	work := inst.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.CopyFrom(inst)
+		e.Repair(work, rng.Intn(n), nil)
+	}
+}
+
+// BenchmarkMaximize measures the saturation pass.
+func BenchmarkMaximize(b *testing.B) {
+	e, rng := benchNetwork(b, 512)
+	inst := e.NewInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Clear()
+		e.Maximize(inst, nil, rng)
+	}
+}
+
+// BenchmarkInformationGain measures one full IG ranking pass (the
+// per-step cost of the Heuristic strategy).
+func BenchmarkInformationGain(b *testing.B) {
+	e, rng := benchNetwork(b, 256)
+	pmn := core.New(e, core.DefaultConfig(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pmn.InformationGains()
+	}
+}
+
+// BenchmarkInstantiate measures Algorithm 2.
+func BenchmarkInstantiate(b *testing.B) {
+	e, rng := benchNetwork(b, 256)
+	s := sampling.NewSampler(e, sampling.DefaultConfig(), rng)
+	store := s.Sample(nil, nil, 200)
+	probs := store.Probabilities()
+	cfg := instantiate.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = instantiate.Heuristic(e, store, probs, nil, nil, cfg, rng)
+	}
+}
+
+// BenchmarkMatcher measures the two candidate generators on a quick BP
+// dataset.
+func BenchmarkMatcher(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	d := datagen.MustGenerate(datagen.Scale(datagen.BP(), 0.4), rng)
+	for _, m := range []matcher.Matcher{matcher.NewCOMALike(), matcher.NewAMCLike()} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.Match(d.Network)
+			}
+		})
+	}
+}
+
+// BenchmarkSessionAssert measures one pay-as-you-go suggest+assert step
+// through the public API, including view maintenance and resampling.
+// The session is reused across iterations and recreated (off the clock)
+// only when its candidates are exhausted.
+func BenchmarkSessionAssert(b *testing.B) {
+	d, err := schemanet.GenerateDataset("bp", 0.4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := schemanet.Match(d.Network, schemanet.COMALike())
+	if err != nil {
+		b.Fatal(err)
+	}
+	newSession := func(seed int64) *schemanet.Session {
+		s, err := schemanet.NewSession(net, &schemanet.Options{Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := newSession(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, ok := s.Suggest()
+		if !ok {
+			b.StopTimer()
+			s = newSession(int64(i))
+			b.StartTimer()
+			c, ok = s.Suggest()
+			if !ok {
+				b.Fatal("fresh session has nothing to suggest")
+			}
+		}
+		if err := s.Assert(c, d.GroundTruth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command reconcile runs pay-as-you-go reconciliation over a dataset
+// JSON file (as produced by cmd/datagen). The expert is either the
+// dataset's ground truth (-oracle) or the interactive user answering
+// y/n on stdin.
+//
+//	reconcile -in bp.json -oracle -budget 30
+//	reconcile -in bp.json -interactive -effort 0.1
+//
+// After the budget is exhausted the tool instantiates a trusted
+// matching and prints it together with quality statistics (when ground
+// truth is available).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"schemanet"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "dataset JSON file (required)")
+		useOracle   = flag.Bool("oracle", false, "answer assertions from the dataset ground truth")
+		interactive = flag.Bool("interactive", false, "ask the user y/n per correspondence")
+		budget      = flag.Int("budget", 0, "maximum number of assertions (0 = use -effort)")
+		effort      = flag.Float64("effort", 0.1, "effort budget as a fraction of |C|")
+		seed        = flag.Int64("seed", 1, "random seed")
+		exact       = flag.Bool("exact", false, "exact probabilities (small networks only)")
+		resume      = flag.String("resume", "", "resume from a saved session file")
+		save        = flag.String("save", "", "save the session to this file when done")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	if !*useOracle && !*interactive {
+		fatal(fmt.Errorf("choose -oracle or -interactive"))
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := schemanet.DecodeDataset(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *useOracle && d.GroundTruth == nil {
+		fatal(fmt.Errorf("dataset has no ground truth; cannot use -oracle"))
+	}
+
+	opts := &schemanet.Options{Seed: *seed, Exact: *exact}
+	var s *schemanet.Session
+	if *resume != "" {
+		sf, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		s, err = schemanet.LoadSession(d.Network, opts, sf)
+		sf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed session: %.0f%% effort already spent\n", 100*s.Effort())
+	} else {
+		s, err = schemanet.NewSession(d.Network, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	n := d.Network.NumCandidates()
+	k := *budget
+	if k <= 0 {
+		k = int(*effort * float64(n))
+	}
+	fmt.Printf("network: %d schemas, %d candidates, %d constraint violations\n",
+		d.Network.NumSchemas(), n, s.Violations())
+	fmt.Printf("initial uncertainty: %.2f bits\n\n", s.Uncertainty())
+
+	stdin := bufio.NewScanner(os.Stdin)
+	for i := 0; i < k; i++ {
+		c, ok := s.Suggest()
+		if !ok {
+			break
+		}
+		var correct bool
+		if *useOracle {
+			correct = d.GroundTruth.ContainsCorrespondence(d.Network.Candidate(c))
+		} else {
+			fmt.Printf("[%d/%d] correct? %s  (y/n) ", i+1, k, s.Describe(c))
+			if !stdin.Scan() {
+				break
+			}
+			ans := strings.TrimSpace(strings.ToLower(stdin.Text()))
+			correct = ans == "y" || ans == "yes"
+		}
+		if err := s.Assert(c, correct); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *save != "" {
+		sf, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Save(sf); err != nil {
+			fatal(err)
+		}
+		sf.Close()
+		fmt.Printf("session saved to %s\n", *save)
+	}
+
+	fmt.Printf("\nafter %.0f%% effort: uncertainty %.2f bits\n", 100*s.Effort(), s.Uncertainty())
+	trusted := s.Instantiate()
+	fmt.Printf("instantiated matching: %d correspondences\n", trusted.Size())
+	if d.GroundTruth != nil {
+		inter := trusted.IntersectionSize(d.GroundTruth)
+		prec := float64(inter) / float64(max(trusted.Size(), 1))
+		rec := float64(inter) / float64(max(d.GroundTruth.Size(), 1))
+		fmt.Printf("precision %.3f, recall %.3f vs ground truth\n", prec, rec)
+	}
+	for i, p := range trusted.Pairs() {
+		if i >= 20 {
+			fmt.Printf("… and %d more\n", trusted.Size()-20)
+			break
+		}
+		fmt.Printf("  %s ↔ %s\n", d.Network.FullName(p[0]), d.Network.FullName(p[1]))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reconcile:", err)
+	os.Exit(1)
+}

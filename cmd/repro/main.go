@@ -1,0 +1,74 @@
+// Command repro regenerates the paper's tables and figures. Each
+// experiment of §VI has an identifier (table2, table3, fig6..fig11,
+// ablation); run one, several, or all:
+//
+//	repro -exp all            # quick mode, every experiment
+//	repro -exp fig9 -full     # Figure 9 with paper-scale parameters
+//	repro -exp table3 -seed 7
+//
+// Quick mode (the default) uses scaled-down datasets and fewer runs so
+// the whole suite finishes in minutes; -full switches to parameters
+// close to the paper's (expect a long run for the large datasets).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"schemanet/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run: all, table2, table3, fig6..fig11, ablation")
+		full   = flag.Bool("full", false, "use paper-scale parameters instead of quick mode")
+		seed   = flag.Int64("seed", 1, "random seed")
+		runs   = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
+		format = flag.String("format", "text", "output format: text or json")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: !*full, Seed: *seed, Runs: *runs}
+
+	var names []string
+	if strings.EqualFold(*exp, "all") {
+		for _, e := range experiments.Registry() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+
+	for _, name := range names {
+		runner := experiments.Lookup(strings.TrimSpace(name))
+		if runner == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "json":
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{"experiment": res.Name(), "result": res}); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: encoding: %v\n", name, err)
+				os.Exit(1)
+			}
+		default:
+			if err := res.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: rendering: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

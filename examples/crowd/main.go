@@ -1,0 +1,92 @@
+// Crowd reconciliation: an extension beyond the single-expert setting.
+//
+// The paper notes (§VII) that its probabilistic model is independent of
+// the number of users. Here three unreliable annotators (each wrong 20%
+// of the time) answer every suggested correspondence; their majority
+// vote feeds the session. Despite individual errors, majority voting
+// keeps the effective error rate low (≈ 10% for three voters at 20%),
+// and the instantiated matching stays close to the single-perfect-expert
+// result.
+//
+// Run with: go run ./examples/crowd
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"schemanet"
+)
+
+// annotator answers correctness questions with a fixed error rate.
+type annotator struct {
+	truth   *schemanet.Matching
+	errRate float64
+	rng     *rand.Rand
+}
+
+func (a *annotator) answer(c schemanet.Correspondence) bool {
+	ans := a.truth.ContainsCorrespondence(c)
+	if a.rng.Float64() < a.errRate {
+		return !ans
+	}
+	return ans
+}
+
+func main() {
+	d, err := schemanet.GenerateDataset("uaf", 0.2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := schemanet.Match(d.Network, schemanet.COMALike())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	crowd := []*annotator{
+		{truth: d.GroundTruth, errRate: 0.2, rng: rand.New(rand.NewSource(1))},
+		{truth: d.GroundTruth, errRate: 0.2, rng: rand.New(rand.NewSource(2))},
+		{truth: d.GroundTruth, errRate: 0.2, rng: rand.New(rand.NewSource(3))},
+	}
+	majority := func(c schemanet.Correspondence) bool {
+		yes := 0
+		for _, a := range crowd {
+			if a.answer(c) {
+				yes++
+			}
+		}
+		return yes*2 > len(crowd)
+	}
+
+	s, err := schemanet.NewSession(net, &schemanet.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d candidates, %d violations\n",
+		d.Name, net.NumCandidates(), s.Violations())
+
+	budget := net.NumCandidates() / 4
+	wrongVotes := 0
+	for i := 0; i < budget; i++ {
+		c, ok := s.Suggest()
+		if !ok {
+			break
+		}
+		vote := majority(net.Candidate(c))
+		if vote != d.GroundTruth.ContainsCorrespondence(net.Candidate(c)) {
+			wrongVotes++
+		}
+		if err := s.Assert(c, vote); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("crowd answered %d questions, %d majority votes were wrong\n", budget, wrongVotes)
+
+	trusted := s.Instantiate()
+	inter := trusted.IntersectionSize(d.GroundTruth)
+	fmt.Printf("trusted matching: %d correspondences, precision %.3f, recall %.3f\n",
+		trusted.Size(),
+		float64(inter)/float64(trusted.Size()),
+		float64(inter)/float64(d.GroundTruth.Size()))
+}

@@ -1,0 +1,200 @@
+// Package chart renders small ASCII line charts for the experiment
+// reports: the figure reproductions print their curves directly in the
+// terminal, next to the numeric tables.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve; points must be sorted by X.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Chart is a fixed-size ASCII plot of one or more series.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	series []Series
+	// YMin/YMax fix the y-range; when both zero the range is computed
+	// from the data.
+	YMin, YMax float64
+}
+
+// New returns a chart with default dimensions.
+func New(title, xLabel, yLabel string) *Chart {
+	return &Chart{Title: title, XLabel: xLabel, YLabel: yLabel, Width: 60, Height: 16}
+}
+
+// markers cycles through distinguishable plot characters.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Add appends a series; a marker is assigned automatically when zero.
+// Series with mismatched X/Y lengths or no points are ignored.
+func (c *Chart) Add(name string, x, y []float64) {
+	if len(x) == 0 || len(x) != len(y) {
+		return
+	}
+	m := markers[len(c.series)%len(markers)]
+	c.series = append(c.series, Series{Name: name, Marker: m, X: x, Y: y})
+}
+
+// bounds computes the plotted data range.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	first := true
+	for _, s := range c.series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// Render writes the chart. With no series it writes nothing.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return nil
+	}
+	width, height := c.Width, c.Height
+	if width < 10 {
+		width = 60
+	}
+	if height < 4 {
+		height = 16
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	// Later series draw on top; draw in reverse so the first series
+	// wins contested cells.
+	for si := len(c.series) - 1; si >= 0; si-- {
+		s := c.series[si]
+		// Interpolate along segments for continuous lines.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := width
+			for k := 0; k <= steps; k++ {
+				t := float64(k) / float64(steps)
+				x := s.X[i] + t*(s.X[i+1]-s.X[i])
+				y := s.Y[i] + t*(s.Y[i+1]-s.Y[i])
+				c.plot(grid, x, y, s.Marker, xmin, xmax, ymin, ymax)
+			}
+		}
+		if len(s.X) == 1 {
+			c.plot(grid, s.X[0], s.Y[0], s.Marker, xmin, xmax, ymin, ymax)
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yHi, labelW)
+		case height - 1:
+			label = pad(yLo, labelW)
+		case height / 2:
+			label = pad(formatTick((ymin+ymax)/2), labelW)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	axis := strings.Repeat("-", width)
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), axis); err != nil {
+		return err
+	}
+	xTicks := fmt.Sprintf("%s  %s%s%s",
+		strings.Repeat(" ", labelW),
+		formatTick(xmin),
+		strings.Repeat(" ", maxInt(1, width-len(formatTick(xmin))-len(formatTick(xmax)))),
+		formatTick(xmax))
+	if _, err := fmt.Fprintln(w, xTicks); err != nil {
+		return err
+	}
+	// Legend, sorted for determinism.
+	legend := make([]string, 0, len(c.series))
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Name))
+	}
+	sort.Strings(legend)
+	if _, err := fmt.Fprintf(w, "%s  %s", strings.Repeat(" ", labelW), strings.Join(legend, "   ")); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "   [x: %s, y: %s]", c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func (c *Chart) plot(grid [][]rune, x, y float64, m rune, xmin, xmax, ymin, ymax float64) {
+	width, height := len(grid[0]), len(grid)
+	col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+	row := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+	if col < 0 || col >= width || row < 0 || row >= height {
+		return
+	}
+	grid[row][col] = m
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

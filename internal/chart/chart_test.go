@@ -1,0 +1,110 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRenderBasicChart(t *testing.T) {
+	c := New("test chart", "effort", "H")
+	c.Add("down", []float64{0, 50, 100}, []float64{1, 0.5, 0})
+	out := render(t, c)
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[x: effort, y: H]") {
+		t.Error("axis labels missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no plotted points")
+	}
+	// Axis rendered.
+	if !strings.Contains(out, "+"+strings.Repeat("-", 60)) {
+		t.Error("x axis missing")
+	}
+}
+
+func TestRenderEmptyChartWritesNothing(t *testing.T) {
+	c := New("empty", "", "")
+	if out := render(t, c); out != "" {
+		t.Errorf("empty chart rendered %q", out)
+	}
+}
+
+func TestAddIgnoresBadSeries(t *testing.T) {
+	c := New("t", "", "")
+	c.Add("mismatch", []float64{1, 2}, []float64{1})
+	c.Add("empty", nil, nil)
+	if out := render(t, c); out != "" {
+		t.Errorf("bad series rendered: %q", out)
+	}
+}
+
+func TestMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := New("t", "", "")
+	c.Add("a", []float64{0, 1}, []float64{0, 1})
+	c.Add("b", []float64{0, 1}, []float64{1, 0})
+	out := render(t, c)
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("markers not assigned in order:\n%s", out)
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	c := New("t", "", "")
+	c.YMin, c.YMax = 0, 1
+	c.Add("flat", []float64{0, 1}, []float64{0.5, 0.5})
+	out := render(t, c)
+	if !strings.Contains(out, "1 |") {
+		t.Errorf("fixed y max label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 |") {
+		t.Errorf("fixed y min label missing:\n%s", out)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Single point, identical X and Y — must not divide by zero.
+	c := New("t", "", "")
+	c.Add("dot", []float64{5}, []float64{7})
+	out := render(t, c)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestFirstSeriesWinsContestedCells(t *testing.T) {
+	c := New("t", "", "")
+	c.Add("first", []float64{0, 1}, []float64{0.5, 0.5})
+	c.Add("second", []float64{0, 1}, []float64{0.5, 0.5})
+	out := render(t, c)
+	// Identical curves: the plot area should show the first marker.
+	plotArea := out[strings.Index(out, "|"):]
+	if strings.Count(plotArea, "*") == 0 {
+		t.Errorf("first series hidden:\n%s", out)
+	}
+}
+
+func TestRowCount(t *testing.T) {
+	c := New("", "", "")
+	c.Height = 8
+	c.Width = 20
+	c.Add("s", []float64{0, 1, 2}, []float64{0, 2, 1})
+	out := render(t, c)
+	rows := strings.Count(out, "|")
+	if rows != 8 {
+		t.Errorf("plot rows = %d, want 8", rows)
+	}
+}

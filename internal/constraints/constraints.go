@@ -1,0 +1,60 @@
+// Package constraints implements the network-level integrity constraints
+// Γ of the paper (§II-A): the one-to-one constraint and the cycle
+// constraint, together with the machinery the sampler and instantiation
+// heuristic need — incremental conflict detection, the greedy repair
+// routine (Algorithm 4), and maximality saturation for matching
+// instances (Definition 1).
+//
+// Constraints are *anti-monotone*: a violation is a set of candidate
+// correspondences that must not all be selected together, so any subset
+// of a consistent instance is consistent. Both paper constraints have
+// this property, and the engine relies on it (repairing by removal only).
+package constraints
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemanet/internal/bitset"
+)
+
+// Violation is a minimal set of co-selected candidates that breaks a
+// constraint. Cands holds candidate indices in ascending order.
+type Violation struct {
+	Constraint string
+	Cands      []int
+}
+
+// Key returns a canonical identity for deduplication.
+func (v Violation) Key() string {
+	var b strings.Builder
+	b.WriteString(v.Constraint)
+	for _, c := range v.Cands {
+		fmt.Fprintf(&b, ":%d", c)
+	}
+	return b.String()
+}
+
+func newViolation(kind string, cands ...int) Violation {
+	sort.Ints(cands)
+	return Violation{Constraint: kind, Cands: cands}
+}
+
+// Constraint is one integrity constraint bound to a network. The paper
+// imposes no assumptions on the constraint definitions (§II-B); any
+// anti-monotone constraint can be plugged into the Engine.
+type Constraint interface {
+	// Name identifies the constraint kind (e.g. "one-to-one").
+	Name() string
+	// HasConflict reports whether candidate c, treated as selected,
+	// participates in at least one violation given the other members of
+	// inst. Membership of c itself in inst is ignored.
+	HasConflict(inst *bitset.Set, c int) bool
+	// ConflictsWith returns all violations that involve candidate c,
+	// treated as selected, given the other members of inst.
+	ConflictsWith(inst *bitset.Set, c int) []Violation
+	// Violations returns every violation among the members of inst, each
+	// exactly once.
+	Violations(inst *bitset.Set) []Violation
+}

@@ -1,0 +1,469 @@
+package constraints
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemanet/internal/bitset"
+	"schemanet/internal/schema"
+)
+
+// videoNet is the motivating example of §II-A: SA:EoverI{productionDate},
+// SB:BBC{date}, SC:DVDizzy{releaseDate, screenDate} with the five
+// candidate correspondences of Figure 1:
+//
+//	c1 = productionDate↔date, c2 = date↔releaseDate,
+//	c3 = productionDate↔releaseDate, c4 = date↔screenDate,
+//	c5 = productionDate↔screenDate.
+//
+// The named indices c1..c5 are resolved through CandidateIndex because
+// the builder sorts candidates canonically.
+type videoNet struct {
+	net                *schema.Network
+	c1, c2, c3, c4, c5 int
+}
+
+func buildVideoNet(t testing.TB) videoNet {
+	t.Helper()
+	b := schema.NewBuilder()
+	b.AddSchema("EoverI", "productionDate")
+	b.AddSchema("BBC", "date")
+	b.AddSchema("DVDizzy", "releaseDate", "screenDate")
+	b.ConnectAll()
+	// AttrIDs: 0 productionDate, 1 date, 2 releaseDate, 3 screenDate.
+	b.AddCorrespondence(0, 1, 0.9) // c1
+	b.AddCorrespondence(1, 2, 0.8) // c2
+	b.AddCorrespondence(0, 2, 0.7) // c3
+	b.AddCorrespondence(1, 3, 0.6) // c4
+	b.AddCorrespondence(0, 3, 0.5) // c5
+	net, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	v := videoNet{net: net}
+	v.c1 = net.CandidateIndex(0, 1)
+	v.c2 = net.CandidateIndex(1, 2)
+	v.c3 = net.CandidateIndex(0, 2)
+	v.c4 = net.CandidateIndex(1, 3)
+	v.c5 = net.CandidateIndex(0, 3)
+	return v
+}
+
+func (v videoNet) instance(cands ...int) *bitset.Set {
+	return bitset.FromIndices(v.net.NumCandidates(), cands...)
+}
+
+func TestOneToOneViolationsOnFullSet(t *testing.T) {
+	v := buildVideoNet(t)
+	o := NewOneToOne(v.net)
+	full := bitset.FromIndices(5, 0, 1, 2, 3, 4)
+	viols := o.Violations(full)
+	// Exactly {c2,c4} (share date, both to DVDizzy) and {c3,c5}
+	// (share productionDate, both to DVDizzy).
+	if len(viols) != 2 {
+		t.Fatalf("one-to-one violations = %d, want 2: %v", len(viols), viols)
+	}
+	want := map[string]bool{
+		newViolation(KindOneToOne, v.c2, v.c4).Key(): true,
+		newViolation(KindOneToOne, v.c3, v.c5).Key(): true,
+	}
+	for _, viol := range viols {
+		if !want[viol.Key()] {
+			t.Errorf("unexpected violation %v", viol)
+		}
+	}
+}
+
+func TestOneToOneNoConflictAcrossDifferentSchemas(t *testing.T) {
+	v := buildVideoNet(t)
+	o := NewOneToOne(v.net)
+	// c1 = (productionDate, date) and c3 = (productionDate, releaseDate)
+	// share productionDate but map it to *different* schemas — allowed.
+	inst := v.instance(v.c1)
+	if o.HasConflict(inst, v.c3) {
+		t.Fatal("c1 and c3 must not conflict under one-to-one")
+	}
+}
+
+func TestCycleViolationsOnFullSet(t *testing.T) {
+	v := buildVideoNet(t)
+	cc := NewCycle(v.net, 3)
+	if cc.NumSchemaCycles() != 1 {
+		t.Fatalf("schema cycles = %d, want 1 (the triangle)", cc.NumSchemaCycles())
+	}
+	full := bitset.FromIndices(5, 0, 1, 2, 3, 4)
+	viols := cc.Violations(full)
+	// Exactly the open chains {c1,c2,c5} and {c1,c3,c4}.
+	if len(viols) != 2 {
+		t.Fatalf("cycle violations = %d, want 2: %v", len(viols), viols)
+	}
+	want := map[string]bool{
+		newViolation(KindCycle, v.c1, v.c2, v.c5).Key(): true,
+		newViolation(KindCycle, v.c1, v.c3, v.c4).Key(): true,
+	}
+	for _, viol := range viols {
+		if !want[viol.Key()] {
+			t.Errorf("unexpected cycle violation %v", viol)
+		}
+	}
+}
+
+func TestCycleClosedTriangleIsConsistent(t *testing.T) {
+	v := buildVideoNet(t)
+	cc := NewCycle(v.net, 3)
+	for _, inst := range []*bitset.Set{
+		v.instance(v.c1, v.c2, v.c3), // closed via releaseDate
+		v.instance(v.c1, v.c4, v.c5), // closed via screenDate
+	} {
+		if got := cc.Violations(inst); len(got) != 0 {
+			t.Errorf("closed triangle reported violations: %v", got)
+		}
+	}
+}
+
+func TestCycleOpenChainDetectedFromEveryMember(t *testing.T) {
+	v := buildVideoNet(t)
+	cc := NewCycle(v.net, 3)
+	open := []int{v.c1, v.c2, v.c5}
+	inst := v.instance(open...)
+	for _, c := range open {
+		rest := inst.Clone()
+		rest.Remove(c)
+		if !cc.HasConflict(rest, c) {
+			t.Errorf("HasConflict from member c=%d missed the open chain", c)
+		}
+		viols := cc.ConflictsWith(rest, c)
+		if len(viols) != 1 {
+			t.Errorf("ConflictsWith(%d) = %v, want exactly the open chain", c, viols)
+		}
+	}
+}
+
+func TestCyclePartialChainsAreConsistent(t *testing.T) {
+	v := buildVideoNet(t)
+	cc := NewCycle(v.net, 3)
+	// Two correspondences cannot cover all three triangle edges.
+	for _, inst := range []*bitset.Set{
+		v.instance(v.c2, v.c5),
+		v.instance(v.c1, v.c2),
+		v.instance(v.c3, v.c4),
+	} {
+		if got := cc.Violations(inst); len(got) != 0 {
+			t.Errorf("partial chain %v reported violations: %v", inst, got)
+		}
+	}
+}
+
+func TestCycleMaxLenBelowThreeNeverFires(t *testing.T) {
+	v := buildVideoNet(t)
+	cc := NewCycle(v.net, 2)
+	full := bitset.FromIndices(5, 0, 1, 2, 3, 4)
+	if got := cc.Violations(full); len(got) != 0 {
+		t.Fatalf("maxLen=2 should disable the constraint, got %v", got)
+	}
+}
+
+// buildRingNet builds 4 schemas on a ring interaction graph (no
+// triangles) with one attribute chain that fails to close.
+func buildRingNet(t *testing.T) (*schema.Network, []int) {
+	t.Helper()
+	b := schema.NewBuilder()
+	b.AddSchema("s0", "a0", "z0")
+	b.AddSchema("s1", "a1")
+	b.AddSchema("s2", "a2")
+	b.AddSchema("s3", "a3")
+	b.Connect(0, 1)
+	b.Connect(1, 2)
+	b.Connect(2, 3)
+	b.Connect(3, 0)
+	// AttrIDs: a0=0, z0=1, a1=2, a2=3, a3=4.
+	b.AddCorrespondence(0, 2, 0.9) // a0-a1
+	b.AddCorrespondence(2, 3, 0.9) // a1-a2
+	b.AddCorrespondence(3, 4, 0.9) // a2-a3
+	b.AddCorrespondence(4, 1, 0.9) // a3-z0: chain ends at z0 != a0
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := []int{
+		net.CandidateIndex(0, 2),
+		net.CandidateIndex(2, 3),
+		net.CandidateIndex(3, 4),
+		net.CandidateIndex(4, 1),
+	}
+	return net, idx
+}
+
+func TestCycleLength4Detection(t *testing.T) {
+	net, idx := buildRingNet(t)
+	full := bitset.FromIndices(net.NumCandidates(), idx...)
+
+	cc3 := NewCycle(net, 3)
+	if got := cc3.Violations(full); len(got) != 0 {
+		t.Fatalf("maxLen=3 on a 4-ring should find nothing, got %v", got)
+	}
+	cc4 := NewCycle(net, 4)
+	viols := cc4.Violations(full)
+	if len(viols) != 1 {
+		t.Fatalf("maxLen=4 violations = %v, want the single open 4-chain", viols)
+	}
+	if len(viols[0].Cands) != 4 {
+		t.Fatalf("violation size = %d, want 4", len(viols[0].Cands))
+	}
+}
+
+func TestEngineConsistentAndViolationCount(t *testing.T) {
+	v := buildVideoNet(t)
+	e := Default(v.net)
+	full := e.FullInstance()
+	if e.Consistent(full) {
+		t.Fatal("full candidate set should be inconsistent")
+	}
+	if got := e.ViolationCount(full); got != 4 {
+		t.Fatalf("ViolationCount(full) = %d, want 4 (two 1-1 + two cycle)", got)
+	}
+	for _, inst := range []*bitset.Set{
+		v.instance(v.c1, v.c2, v.c3),
+		v.instance(v.c1, v.c4, v.c5),
+		v.instance(v.c2, v.c5),
+		v.instance(v.c3, v.c4),
+		e.NewInstance(),
+	} {
+		if !e.Consistent(inst) {
+			t.Errorf("instance %v should be consistent", inst)
+		}
+	}
+}
+
+func TestEngineMaximal(t *testing.T) {
+	v := buildVideoNet(t)
+	e := Default(v.net)
+	// The four maximal consistent instances of this network. (Example 1
+	// of the paper informally names only the two triangles; {c2,c5} and
+	// {c3,c4} are also maximal under Definition 1 since every extension
+	// violates a constraint.)
+	maximal := []*bitset.Set{
+		v.instance(v.c1, v.c2, v.c3),
+		v.instance(v.c1, v.c4, v.c5),
+		v.instance(v.c2, v.c5),
+		v.instance(v.c3, v.c4),
+	}
+	for _, inst := range maximal {
+		if !e.Maximal(inst, nil) {
+			t.Errorf("instance %v should be maximal", inst)
+		}
+	}
+	notMaximal := []*bitset.Set{
+		v.instance(v.c1),
+		v.instance(v.c1, v.c2),
+		e.NewInstance(),
+	}
+	for _, inst := range notMaximal {
+		if e.Maximal(inst, nil) {
+			t.Errorf("instance %v should not be maximal", inst)
+		}
+	}
+}
+
+func TestEngineMaximalRespectsExcluded(t *testing.T) {
+	v := buildVideoNet(t)
+	e := Default(v.net)
+	// {c1, c2} is not maximal, but if c3 is disapproved the only
+	// consistent extension is gone.
+	inst := v.instance(v.c1, v.c2)
+	excluded := v.instance(v.c3)
+	if !e.Maximal(inst, excluded) {
+		t.Fatal("instance should be maximal once c3 is excluded")
+	}
+}
+
+func TestEngineMaximizeProducesMaximalConsistent(t *testing.T) {
+	v := buildVideoNet(t)
+	e := Default(v.net)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		inst := e.NewInstance()
+		e.Maximize(inst, nil, rng)
+		if !e.Consistent(inst) {
+			t.Fatalf("trial %d: Maximize produced inconsistent %v", trial, inst)
+		}
+		if !e.Maximal(inst, nil) {
+			t.Fatalf("trial %d: Maximize produced non-maximal %v", trial, inst)
+		}
+	}
+}
+
+func TestEngineRepairResolvesAllViolations(t *testing.T) {
+	v := buildVideoNet(t)
+	e := Default(v.net)
+	inst := v.instance(v.c1, v.c2, v.c3)
+	e.Repair(inst, v.c4, nil)
+	if !e.Consistent(inst) {
+		t.Fatalf("Repair left inconsistent instance %v", inst)
+	}
+	if !inst.Has(v.c4) {
+		t.Fatal("Repair should keep the added correspondence when repairable")
+	}
+}
+
+func TestEngineRepairProtectsApproved(t *testing.T) {
+	v := buildVideoNet(t)
+	e := Default(v.net)
+	inst := v.instance(v.c1, v.c2, v.c3)
+	approved := v.instance(v.c1, v.c2, v.c3)
+	// Adding c4 conflicts with approved c2 (one-to-one) and the approved
+	// triangle (cycle); nothing removable remains, so c4 must bounce.
+	e.Repair(inst, v.c4, approved)
+	if inst.Has(v.c4) {
+		t.Fatal("Repair removed protected members instead of bouncing the addition")
+	}
+	if !inst.Equal(v.instance(v.c1, v.c2, v.c3)) {
+		t.Fatalf("Repair mutated protected instance: %v", inst)
+	}
+}
+
+func TestEngineRepairOnEmptyInstance(t *testing.T) {
+	v := buildVideoNet(t)
+	e := Default(v.net)
+	inst := e.NewInstance()
+	e.Repair(inst, v.c3, nil)
+	if !inst.Has(v.c3) || inst.Count() != 1 {
+		t.Fatalf("Repair on empty instance = %v, want {c3}", inst)
+	}
+}
+
+func TestEngineCanAdd(t *testing.T) {
+	v := buildVideoNet(t)
+	e := Default(v.net)
+	inst := v.instance(v.c1, v.c2)
+	if !e.CanAdd(inst, v.c3) {
+		t.Fatal("closing the triangle must be allowed")
+	}
+	if e.CanAdd(inst, v.c4) {
+		t.Fatal("c4 conflicts with c2 under one-to-one")
+	}
+	if e.CanAdd(inst, v.c5) {
+		t.Fatal("c5 would open the cycle {c1,c2,c5}")
+	}
+}
+
+// randomNetwork builds a random complete-graph network for property
+// testing: nSchemas schemas with attrsPer attributes, candidate density d.
+func randomNetwork(t testing.TB, rng *rand.Rand, nSchemas, attrsPer int, density float64) *schema.Network {
+	t.Helper()
+	b := schema.NewBuilder()
+	attrIDs := make([][]schema.AttrID, nSchemas)
+	for s := 0; s < nSchemas; s++ {
+		names := make([]string, attrsPer)
+		for a := range names {
+			names[a] = string(rune('a'+a)) + string(rune('0'+s))
+		}
+		id := b.AddSchema(string(rune('A'+s)), names...)
+		_ = id
+	}
+	b.ConnectAll()
+	// Recover attr ids: they are assigned sequentially.
+	next := schema.AttrID(0)
+	for s := 0; s < nSchemas; s++ {
+		attrIDs[s] = make([]schema.AttrID, attrsPer)
+		for a := 0; a < attrsPer; a++ {
+			attrIDs[s][a] = next
+			next++
+		}
+	}
+	for s1 := 0; s1 < nSchemas; s1++ {
+		for s2 := s1 + 1; s2 < nSchemas; s2++ {
+			for a1 := 0; a1 < attrsPer; a1++ {
+				for a2 := 0; a2 < attrsPer; a2++ {
+					if rng.Float64() < density {
+						b.AddCorrespondence(attrIDs[s1][a1], attrIDs[s2][a2], rng.Float64())
+					}
+				}
+			}
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestPropertyRepairAlwaysRestoresConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		net := randomNetwork(t, rng, 3+rng.Intn(2), 3, 0.4)
+		e := Default(net)
+		inst := e.NewInstance()
+		e.Maximize(inst, nil, rng)
+		if net.NumCandidates() == 0 {
+			continue
+		}
+		for step := 0; step < 10; step++ {
+			c := rng.Intn(net.NumCandidates())
+			e.Repair(inst, c, nil)
+			if !e.Consistent(inst) {
+				t.Fatalf("trial %d step %d: inconsistent after Repair(%d): %v",
+					trial, step, c, e.Violations(inst))
+			}
+		}
+	}
+}
+
+func TestPropertyViolationsAgreeWithHasConflict(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		net := randomNetwork(t, rng, 3, 3, 0.5)
+		e := Default(net)
+		n := net.NumCandidates()
+		if n == 0 {
+			continue
+		}
+		inst := e.NewInstance()
+		for c := 0; c < n; c++ {
+			if rng.Float64() < 0.5 {
+				inst.Add(c)
+			}
+		}
+		// Consistent(inst) must agree with Violations(inst) emptiness.
+		if got, want := e.Consistent(inst), len(e.Violations(inst)) == 0; got != want {
+			t.Fatalf("trial %d: Consistent=%v but Violations-empty=%v", trial, got, want)
+		}
+		// Every member of every violation, when probed, must report a
+		// conflict.
+		for _, viol := range e.Violations(inst) {
+			for _, c := range viol.Cands {
+				rest := inst.Clone()
+				rest.Remove(c)
+				if !e.HasConflict(rest, c) {
+					t.Fatalf("trial %d: violation member %d not seen by HasConflict", trial, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyAntiMonotonicity(t *testing.T) {
+	// Removing a candidate from a consistent instance keeps it
+	// consistent (the engine's repair strategy depends on this).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		net := randomNetwork(t, rng, 3, 4, 0.4)
+		e := Default(net)
+		inst := e.NewInstance()
+		e.Maximize(inst, nil, rng)
+		members := inst.Members()
+		if len(members) == 0 {
+			continue
+		}
+		sub := inst.Clone()
+		for _, c := range members {
+			if rng.Float64() < 0.5 {
+				sub.Remove(c)
+			}
+		}
+		if !e.Consistent(sub) {
+			t.Fatalf("trial %d: subset of consistent instance inconsistent", trial)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package constraints
+
+import (
+	"schemanet/internal/bitset"
+	"schemanet/internal/graphs"
+	"schemanet/internal/schema"
+)
+
+// KindCycle names the cycle constraint.
+const KindCycle = "cycle"
+
+// Cycle implements the cycle constraint of §II-A: if multiple schemas are
+// matched in a cycle, the matched attributes should form a closed cycle.
+//
+// A violation is a chain of correspondences that covers every edge of a
+// schema cycle exactly once and is attribute-connected at every schema
+// except exactly one (the "break"), where the two incident
+// correspondences touch different attributes. Following the chain from
+// the break therefore leads around the cycle and back to a *different*
+// attribute of the same schema — the paper's {c2, c1, c5} example.
+//
+// Schema cycles are enumerated up to MaxLen (default 3, i.e. triangles);
+// see DESIGN.md for the rationale of this bound.
+type Cycle struct {
+	net    *schema.Network
+	cycles []graphs.Cycle
+	// byEdge maps a schema-pair key to the rotations of all cycles that
+	// traverse that pair, each rotated so the pair is (seq[0], seq[1]).
+	byEdge map[[2]int][][]int
+	// byPair maps a schema-pair key to the candidate indices on it.
+	byPair map[[2]int][]int
+}
+
+// DefaultMaxCycleLen bounds the schema-cycle enumeration of NewCycle.
+const DefaultMaxCycleLen = 3
+
+// NewCycle binds the cycle constraint to a network, enumerating the
+// interaction graph's simple cycles up to maxLen (use
+// DefaultMaxCycleLen for the paper's setting). maxLen below 3 yields a
+// constraint that never fires.
+func NewCycle(net *schema.Network, maxLen int) *Cycle {
+	cc := &Cycle{
+		net:    net,
+		cycles: net.Interaction().SimpleCycles(maxLen),
+		byEdge: make(map[[2]int][][]int),
+		byPair: make(map[[2]int][]int),
+	}
+	for _, cyc := range cc.cycles {
+		k := len(cyc)
+		for i := 0; i < k; i++ {
+			u, v := cyc[i], cyc[(i+1)%k]
+			rot := make([]int, 0, k)
+			for j := 0; j < k; j++ {
+				rot = append(rot, cyc[(i+j)%k])
+			}
+			cc.byEdge[pairKey(u, v)] = append(cc.byEdge[pairKey(u, v)], rot)
+		}
+	}
+	for i := 0; i < net.NumCandidates(); i++ {
+		sa, sb := net.SchemaPair(i)
+		key := pairKey(int(sa), int(sb))
+		cc.byPair[key] = append(cc.byPair[key], i)
+	}
+	return cc
+}
+
+func pairKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// Name implements Constraint.
+func (cc *Cycle) Name() string { return KindCycle }
+
+// NumSchemaCycles returns how many schema cycles are checked.
+func (cc *Cycle) NumSchemaCycles() int { return len(cc.cycles) }
+
+// endpointIn returns the endpoint of candidate d lying in schema s.
+func (cc *Cycle) endpointIn(d int, s int) schema.AttrID {
+	c := cc.net.Candidate(d)
+	if int(cc.net.SchemaOf(c.A)) == s {
+		return c.A
+	}
+	return c.B
+}
+
+// walk runs a connected-moves DFS from attr start through the target
+// schema sequence, calling emit with each terminal attribute and the
+// candidate path taken. emit returning false aborts the walk (and walk
+// then returns false).
+func (cc *Cycle) walk(inst *bitset.Set, start schema.AttrID, targets []int, path []int, emit func(end schema.AttrID, path []int) bool) bool {
+	if len(targets) == 0 {
+		return emit(start, path)
+	}
+	next := targets[0]
+	for _, d := range cc.net.CandidatesOf(start) {
+		if !inst.Has(d) {
+			continue
+		}
+		other := cc.net.Other(d, start)
+		if int(cc.net.SchemaOf(other)) != next {
+			continue
+		}
+		if !cc.walk(inst, other, targets[1:], append(path, d), emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// chainsThrough enumerates all violating chains through candidate c in
+// rotation seq (with c on the edge seq[0]-seq[1]), calling emit with the
+// full candidate set of each chain. emit returning false aborts.
+//
+// For each possible break schema seq[m], the chain decomposes into a
+// forward connected walk from c's seq[1]-endpoint to seq[m] and a
+// backward connected walk from c's seq[0]-endpoint to seq[m] (going the
+// other way around); the chain violates iff the two walks end on
+// different attributes of seq[m].
+func (cc *Cycle) chainsThrough(inst *bitset.Set, c int, seq []int, emit func(chain []int) bool) bool {
+	k := len(seq)
+	x0 := cc.endpointIn(c, seq[0])
+	x1 := cc.endpointIn(c, seq[1])
+
+	// m = 0: break at seq[0]; forward walk goes all the way around.
+	targets := make([]int, 0, k-1)
+	for j := 2; j < k; j++ {
+		targets = append(targets, seq[j])
+	}
+	targets = append(targets, seq[0])
+	ok := cc.walk(inst, x1, targets, nil, func(end schema.AttrID, path []int) bool {
+		if end == x0 {
+			return true
+		}
+		chain := append([]int{c}, path...)
+		return emit(chain)
+	})
+	if !ok {
+		return false
+	}
+
+	// 1 <= m <= k-1: forward to seq[m], backward to seq[m].
+	for m := 1; m < k; m++ {
+		fwdTargets := make([]int, 0, m-1)
+		for j := 2; j <= m; j++ {
+			fwdTargets = append(fwdTargets, seq[j])
+		}
+		bwdTargets := make([]int, 0, k-m)
+		for j := k - 1; j >= m; j-- {
+			bwdTargets = append(bwdTargets, seq[j])
+		}
+		ok := cc.walk(inst, x1, fwdTargets, nil, func(alpha schema.AttrID, fwdPath []int) bool {
+			fwd := append([]int(nil), fwdPath...)
+			return cc.walk(inst, x0, bwdTargets, nil, func(beta schema.AttrID, bwdPath []int) bool {
+				if alpha == beta {
+					return true
+				}
+				chain := make([]int, 0, 1+len(fwd)+len(bwdPath))
+				chain = append(chain, c)
+				chain = append(chain, fwd...)
+				chain = append(chain, bwdPath...)
+				return emit(chain)
+			})
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rotationsFor returns the rotations of cycles traversing c's schema pair.
+func (cc *Cycle) rotationsFor(c int) [][]int {
+	sa, sb := cc.net.SchemaPair(c)
+	return cc.byEdge[pairKey(int(sa), int(sb))]
+}
+
+// HasConflict implements Constraint.
+func (cc *Cycle) HasConflict(inst *bitset.Set, c int) bool {
+	for _, seq := range cc.rotationsFor(c) {
+		found := false
+		cc.chainsThrough(inst, c, seq, func([]int) bool {
+			found = true
+			return false
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictsWith implements Constraint.
+func (cc *Cycle) ConflictsWith(inst *bitset.Set, c int) []Violation {
+	var out []Violation
+	for _, seq := range cc.rotationsFor(c) {
+		cc.chainsThrough(inst, c, seq, func(chain []int) bool {
+			out = append(out, newViolation(KindCycle, chain...))
+			return true
+		})
+	}
+	return out
+}
+
+// Violations implements Constraint. Each chain is anchored at its unique
+// candidate on the first edge of the cycle's canonical rotation, so each
+// violation is reported exactly once per cycle.
+func (cc *Cycle) Violations(inst *bitset.Set) []Violation {
+	var out []Violation
+	for _, cyc := range cc.cycles {
+		seq := []int(cyc)
+		for _, c := range cc.byPair[pairKey(seq[0], seq[1])] {
+			if !inst.Has(c) {
+				continue
+			}
+			cc.chainsThrough(inst, c, seq, func(chain []int) bool {
+				out = append(out, newViolation(KindCycle, chain...))
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package constraints
+
+import (
+	"math/rand"
+	"sort"
+
+	"schemanet/internal/bitset"
+	"schemanet/internal/schema"
+)
+
+// Engine evaluates a constraint set Γ over matching instances of one
+// network and provides the repair and maximization primitives shared by
+// the sampler (Algorithm 3) and the instantiation heuristic
+// (Algorithm 2).
+type Engine struct {
+	net  *schema.Network
+	cons []Constraint
+}
+
+// NewEngine binds the constraints to the network. The standard paper
+// configuration is NewEngine(net, NewOneToOne(net), NewCycle(net,
+// DefaultMaxCycleLen)); see Default.
+func NewEngine(net *schema.Network, cons ...Constraint) *Engine {
+	return &Engine{net: net, cons: cons}
+}
+
+// Default returns the engine with the paper's constraint set Γ =
+// {one-to-one, cycle}.
+func Default(net *schema.Network) *Engine {
+	return NewEngine(net, NewOneToOne(net), NewCycle(net, DefaultMaxCycleLen))
+}
+
+// Network returns the bound network.
+func (e *Engine) Network() *schema.Network { return e.net }
+
+// Constraints returns the constraint set Γ.
+func (e *Engine) Constraints() []Constraint { return e.cons }
+
+// NewInstance returns an empty instance sized for the network's
+// candidate set.
+func (e *Engine) NewInstance() *bitset.Set {
+	return bitset.New(e.net.NumCandidates())
+}
+
+// FromIndicesFor returns an instance over net's candidate universe
+// containing exactly the given candidate indices.
+func FromIndicesFor(net *schema.Network, indices ...int) *bitset.Set {
+	return bitset.FromIndices(net.NumCandidates(), indices...)
+}
+
+// HasConflict reports whether candidate c, treated as selected, would
+// participate in any violation given the other members of inst.
+func (e *Engine) HasConflict(inst *bitset.Set, c int) bool {
+	for _, con := range e.cons {
+		if con.HasConflict(inst, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictsWith returns all violations candidate c would participate in.
+func (e *Engine) ConflictsWith(inst *bitset.Set, c int) []Violation {
+	var out []Violation
+	for _, con := range e.cons {
+		out = append(out, con.ConflictsWith(inst, c)...)
+	}
+	return out
+}
+
+// Violations returns all distinct violations among the members of inst.
+func (e *Engine) Violations(inst *bitset.Set) []Violation {
+	var out []Violation
+	for _, con := range e.cons {
+		out = append(out, con.Violations(inst)...)
+	}
+	return out
+}
+
+// Consistent reports I |= Γ.
+func (e *Engine) Consistent(inst *bitset.Set) bool {
+	ok := true
+	inst.ForEach(func(c int) bool {
+		if e.HasConflict(inst, c) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// CanAdd reports whether inst ∪ {c} remains consistent (assuming inst is
+// consistent). This is the maximality test of Definition 1.
+func (e *Engine) CanAdd(inst *bitset.Set, c int) bool {
+	return !e.HasConflict(inst, c)
+}
+
+// Maximal reports whether inst is maximal w.r.t. Γ and the excluded set
+// (typically F−): no candidate outside inst and excluded can be added
+// without violating a constraint.
+func (e *Engine) Maximal(inst, excluded *bitset.Set) bool {
+	for c := 0; c < e.net.NumCandidates(); c++ {
+		if inst.Has(c) || (excluded != nil && excluded.Has(c)) {
+			continue
+		}
+		if e.CanAdd(inst, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Maximize greedily saturates inst: candidates outside inst and excluded
+// are visited in random order (deterministic ascending order when rng is
+// nil) and added whenever consistent. Since the constraints are
+// anti-monotone, one pass yields a maximal instance.
+func (e *Engine) Maximize(inst, excluded *bitset.Set, rng *rand.Rand) {
+	n := e.net.NumCandidates()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	for _, c := range order {
+		if inst.Has(c) || (excluded != nil && excluded.Has(c)) {
+			continue
+		}
+		if e.CanAdd(inst, c) {
+			inst.Add(c)
+		}
+	}
+}
+
+// Repair implements Algorithm 4: it adds candidate `added` to inst and
+// then greedily removes the non-protected correspondence involved in the
+// most violations until no violation involving `added` remains.
+// Protected correspondences (approved ∪ {added}) are never removed; if a
+// violation consists solely of protected members, `added` itself is
+// removed instead (the move becomes a no-op), since removing anything
+// else cannot resolve it.
+//
+// The precondition matching the paper's use is that inst is consistent
+// before the call; then every violation involves `added` and the loop
+// terminates with a consistent instance.
+func (e *Engine) Repair(inst *bitset.Set, added int, approved *bitset.Set) {
+	inst.Add(added)
+	for {
+		viols := e.ConflictsWith(inst, added)
+		if len(viols) == 0 {
+			return
+		}
+		counts := make(map[int]int)
+		for _, v := range viols {
+			removable := 0
+			for _, ci := range v.Cands {
+				if ci == added || (approved != nil && approved.Has(ci)) {
+					continue
+				}
+				if inst.Has(ci) {
+					counts[ci]++
+					removable++
+				}
+			}
+			if removable == 0 {
+				// Unrepairable without touching protected members: drop
+				// the newly added correspondence.
+				inst.Remove(added)
+				return
+			}
+		}
+		victim, best := -1, -1
+		// Deterministic tie-break on the smallest index keeps the repair
+		// reproducible under a fixed seed.
+		keys := make([]int, 0, len(counts))
+		for ci := range counts {
+			keys = append(keys, ci)
+		}
+		sort.Ints(keys)
+		for _, ci := range keys {
+			if counts[ci] > best {
+				victim, best = ci, counts[ci]
+			}
+		}
+		inst.Remove(victim)
+	}
+}
+
+// ViolationCount returns the number of distinct violations among the
+// members of inst; used to reproduce Table III.
+func (e *Engine) ViolationCount(inst *bitset.Set) int {
+	seen := make(map[string]bool)
+	for _, v := range e.Violations(inst) {
+		seen[v.Key()] = true
+	}
+	return len(seen)
+}
+
+// FullInstance returns the instance containing every candidate; with
+// ViolationCount it reports the violations among the raw matcher output.
+func (e *Engine) FullInstance() *bitset.Set {
+	inst := e.NewInstance()
+	for c := 0; c < e.net.NumCandidates(); c++ {
+		inst.Add(c)
+	}
+	return inst
+}

@@ -1,0 +1,109 @@
+package constraints
+
+import (
+	"schemanet/internal/bitset"
+	"schemanet/internal/schema"
+)
+
+// KindMutex names the mutual-exclusion constraint.
+const KindMutex = "mutual-exclusion"
+
+// MutualExclusion is a user-defined constraint declaring that certain
+// pairs of attributes must never be matched together (directly or not):
+// if any candidate touches attribute a and another touches attribute b,
+// and (a, b) is declared exclusive, selecting both is a violation.
+//
+// The paper imposes no assumptions on the constraint definitions
+// (§II-B); this type demonstrates the pluggable Constraint interface
+// with domain knowledge like "billing and shipping addresses are
+// different concepts". It is not part of the paper's Γ.
+type MutualExclusion struct {
+	net *schema.Network
+	// exclusive maps attribute → set of attributes it excludes.
+	exclusive map[schema.AttrID]map[schema.AttrID]bool
+}
+
+// NewMutualExclusion builds the constraint from exclusive attribute
+// pairs (order within a pair is irrelevant).
+func NewMutualExclusion(net *schema.Network, pairs [][2]schema.AttrID) *MutualExclusion {
+	m := &MutualExclusion{
+		net:       net,
+		exclusive: make(map[schema.AttrID]map[schema.AttrID]bool),
+	}
+	add := func(a, b schema.AttrID) {
+		if m.exclusive[a] == nil {
+			m.exclusive[a] = make(map[schema.AttrID]bool)
+		}
+		m.exclusive[a][b] = true
+	}
+	for _, p := range pairs {
+		add(p[0], p[1])
+		add(p[1], p[0])
+	}
+	return m
+}
+
+// Name implements Constraint.
+func (m *MutualExclusion) Name() string { return KindMutex }
+
+// conflictPartners calls fn for every inst member that, together with
+// candidate c, covers an exclusive attribute pair. fn returning false
+// stops the scan.
+func (m *MutualExclusion) conflictPartners(inst *bitset.Set, c int, fn func(d int) bool) {
+	cand := m.net.Candidate(c)
+	for _, a := range [2]schema.AttrID{cand.A, cand.B} {
+		excl := m.exclusive[a]
+		if excl == nil {
+			continue
+		}
+		for b := range excl {
+			for _, d := range m.net.CandidatesOf(b) {
+				if d == c || !inst.Has(d) {
+					continue
+				}
+				if !fn(d) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// HasConflict implements Constraint.
+func (m *MutualExclusion) HasConflict(inst *bitset.Set, c int) bool {
+	found := false
+	m.conflictPartners(inst, c, func(int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// ConflictsWith implements Constraint.
+func (m *MutualExclusion) ConflictsWith(inst *bitset.Set, c int) []Violation {
+	var out []Violation
+	seen := make(map[int]bool)
+	m.conflictPartners(inst, c, func(d int) bool {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, newViolation(KindMutex, c, d))
+		}
+		return true
+	})
+	return out
+}
+
+// Violations implements Constraint.
+func (m *MutualExclusion) Violations(inst *bitset.Set) []Violation {
+	var out []Violation
+	inst.ForEach(func(c int) bool {
+		m.conflictPartners(inst, c, func(d int) bool {
+			if c < d {
+				out = append(out, newViolation(KindMutex, c, d))
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,116 @@
+package constraints
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemanet/internal/schema"
+)
+
+// mutexNet builds two schemas where billing and shipping addresses are
+// declared mutually exclusive concepts.
+func mutexNet(t *testing.T) (*schema.Network, [][2]schema.AttrID) {
+	t.Helper()
+	b := schema.NewBuilder()
+	b.AddSchema("left", "billingAddr", "shippingAddr") // attrs 0, 1
+	b.AddSchema("right", "address", "addr2")           // attrs 2, 3
+	b.ConnectAll()
+	b.AddCorrespondence(0, 2, 0.8) // billing ↔ address
+	b.AddCorrespondence(1, 2, 0.7) // shipping ↔ address (1-1 conflict too)
+	b.AddCorrespondence(1, 3, 0.6) // shipping ↔ addr2
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declaring 0 (billing) exclusive with 1 (shipping) means no
+	// instance may select candidates touching both.
+	return net, [][2]schema.AttrID{{0, 1}}
+}
+
+func TestMutualExclusionViolations(t *testing.T) {
+	net, pairs := mutexNet(t)
+	m := NewMutualExclusion(net, pairs)
+	e := NewEngine(net, m)
+	full := e.FullInstance()
+	viols := m.Violations(full)
+	// billing↔address conflicts with both shipping candidates: 2 pairs.
+	if len(viols) != 2 {
+		t.Fatalf("violations = %v, want 2", viols)
+	}
+	for _, v := range viols {
+		if v.Constraint != KindMutex {
+			t.Errorf("wrong kind %q", v.Constraint)
+		}
+		if len(v.Cands) != 2 {
+			t.Errorf("violation arity %d, want 2", len(v.Cands))
+		}
+	}
+}
+
+func TestMutualExclusionHasConflict(t *testing.T) {
+	net, pairs := mutexNet(t)
+	m := NewMutualExclusion(net, pairs)
+	c02 := net.CandidateIndex(0, 2)
+	c13 := net.CandidateIndex(1, 3)
+
+	inst := FromIndicesFor(net, c13)
+	if !m.HasConflict(inst, c02) {
+		t.Fatal("billing candidate must conflict with selected shipping candidate")
+	}
+	empty := FromIndicesFor(net)
+	if m.HasConflict(empty, c02) {
+		t.Fatal("no conflict on empty instance")
+	}
+}
+
+func TestMutualExclusionComposesWithEngine(t *testing.T) {
+	net, pairs := mutexNet(t)
+	e := NewEngine(net,
+		NewOneToOne(net),
+		NewCycle(net, DefaultMaxCycleLen),
+		NewMutualExclusion(net, pairs),
+	)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		inst := e.NewInstance()
+		e.Maximize(inst, nil, rng)
+		if !e.Consistent(inst) {
+			t.Fatalf("maximized instance violates composed constraints: %v",
+				e.Violations(inst))
+		}
+		// The exclusive pair must never be covered jointly.
+		c02 := net.CandidateIndex(0, 2)
+		c13 := net.CandidateIndex(1, 3)
+		c12 := net.CandidateIndex(1, 2)
+		if inst.Has(c02) && (inst.Has(c13) || inst.Has(c12)) {
+			t.Fatalf("instance %v selects mutually exclusive candidates", inst)
+		}
+	}
+}
+
+func TestMutualExclusionRepair(t *testing.T) {
+	net, pairs := mutexNet(t)
+	e := NewEngine(net, NewMutualExclusion(net, pairs))
+	c02 := net.CandidateIndex(0, 2)
+	c13 := net.CandidateIndex(1, 3)
+	inst := FromIndicesFor(net, c13)
+	e.Repair(inst, c02, nil)
+	if !e.Consistent(inst) {
+		t.Fatal("repair left inconsistency")
+	}
+	if !inst.Has(c02) {
+		t.Fatal("repair should keep the newly added candidate")
+	}
+	if inst.Has(c13) {
+		t.Fatal("repair should have removed the excluded partner")
+	}
+}
+
+func TestMutualExclusionNoPairsIsNeutral(t *testing.T) {
+	net, _ := mutexNet(t)
+	m := NewMutualExclusion(net, nil)
+	e := NewEngine(net, m)
+	if !e.Consistent(e.FullInstance()) {
+		t.Fatal("empty exclusion list must not fire")
+	}
+}

@@ -1,0 +1,95 @@
+// Package core implements the paper's primary contribution: the
+// probabilistic matching network ⟨N, P⟩ (§II-B), pay-as-you-go
+// probability maintenance under expert assertions (§III), and
+// uncertainty reduction by information gain (§IV, Algorithm 1).
+package core
+
+import (
+	"fmt"
+
+	"schemanet/internal/bitset"
+)
+
+// Assertion is one expert statement about a candidate correspondence.
+type Assertion struct {
+	Cand     int
+	Approved bool
+}
+
+// Feedback is the user input F = ⟨F+, F−⟩ of §II-B: disjoint sets of
+// approved and disapproved candidates, with the assertion history.
+type Feedback struct {
+	approved    *bitset.Set
+	disapproved *bitset.Set
+	history     []Assertion
+}
+
+// NewFeedback returns empty feedback over a universe of n candidates.
+func NewFeedback(n int) *Feedback {
+	return &Feedback{approved: bitset.New(n), disapproved: bitset.New(n)}
+}
+
+// Approve records c ∈ F+. Re-asserting a candidate differently is an
+// error (assertions are assumed correct and final, §II-B).
+func (f *Feedback) Approve(c int) error { return f.assert(c, true) }
+
+// Disapprove records c ∈ F−.
+func (f *Feedback) Disapprove(c int) error { return f.assert(c, false) }
+
+func (f *Feedback) assert(c int, approve bool) error {
+	if f.approved.Has(c) || f.disapproved.Has(c) {
+		return fmt.Errorf("core: candidate %d already asserted", c)
+	}
+	if approve {
+		f.approved.Add(c)
+	} else {
+		f.disapproved.Add(c)
+	}
+	f.history = append(f.history, Assertion{Cand: c, Approved: approve})
+	return nil
+}
+
+// IsAsserted reports whether c has been asserted either way.
+func (f *Feedback) IsAsserted(c int) bool {
+	return f.approved.Has(c) || f.disapproved.Has(c)
+}
+
+// IsApproved reports c ∈ F+.
+func (f *Feedback) IsApproved(c int) bool { return f.approved.Has(c) }
+
+// IsDisapproved reports c ∈ F−.
+func (f *Feedback) IsDisapproved(c int) bool { return f.disapproved.Has(c) }
+
+// Approved returns F+; the set must not be mutated.
+func (f *Feedback) Approved() *bitset.Set { return f.approved }
+
+// Disapproved returns F−; the set must not be mutated.
+func (f *Feedback) Disapproved() *bitset.Set { return f.disapproved }
+
+// Count returns |F+ ∪ F−|.
+func (f *Feedback) Count() int { return len(f.history) }
+
+// Effort returns the user-effort measure E = |F+ ∪ F−| / |C| of §VI-A.
+func (f *Feedback) Effort() float64 {
+	n := f.approved.Len()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(f.history)) / float64(n)
+}
+
+// History returns the assertions in order.
+func (f *Feedback) History() []Assertion {
+	out := make([]Assertion, len(f.history))
+	copy(out, f.history)
+	return out
+}
+
+// Clone returns an independent copy.
+func (f *Feedback) Clone() *Feedback {
+	return &Feedback{
+		approved:    f.approved.Clone(),
+		disapproved: f.disapproved.Clone(),
+		history:     append([]Assertion(nil), f.history...),
+	}
+}

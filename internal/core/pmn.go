@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+
+	"schemanet/internal/constraints"
+	"schemanet/internal/sampling"
+	"schemanet/internal/schema"
+)
+
+// Config parameterizes probability computation for a probabilistic
+// matching network.
+type Config struct {
+	// Sampler configures the non-uniform sampler (§III-B).
+	Sampler sampling.Config
+	// Samples is the number of walk emissions per (re)sampling round.
+	Samples int
+	// Exact switches to exhaustive enumeration of matching instances
+	// (Equation 1); only feasible for small candidate sets.
+	Exact bool
+	// ExactLimit caps enumeration when Exact is set (0 = no cap).
+	ExactLimit int
+}
+
+// DefaultConfig returns the sampling-based configuration used by the
+// experiments.
+func DefaultConfig() Config {
+	return Config{Sampler: sampling.DefaultConfig(), Samples: 500}
+}
+
+// PMN is a probabilistic matching network ⟨N, P⟩: a network of schemas
+// with constraints plus a probability for every candidate correspondence
+// (§II-B). The probabilities are maintained incrementally as expert
+// assertions arrive (pay-as-you-go).
+type PMN struct {
+	engine   *constraints.Engine
+	cfg      Config
+	rng      *rand.Rand
+	sampler  *sampling.Sampler
+	store    *sampling.Store
+	feedback *Feedback
+	probs    []float64
+	exactAll bool // probabilities come from exhaustive enumeration
+}
+
+// New builds a probabilistic matching network and computes the initial
+// probabilities (no user input yet).
+func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
+	if cfg.Samples <= 0 {
+		cfg.Samples = DefaultConfig().Samples
+	}
+	n := engine.Network().NumCandidates()
+	p := &PMN{
+		engine:   engine,
+		cfg:      cfg,
+		rng:      rng,
+		sampler:  sampling.NewSampler(engine, cfg.Sampler, rng),
+		feedback: NewFeedback(n),
+	}
+	p.store = sampling.NewStore(n, p.sampler.Config().NMin)
+	p.refill()
+	p.recompute()
+	return p
+}
+
+// Network returns N's schema network.
+func (p *PMN) Network() *schema.Network { return p.engine.Network() }
+
+// Engine returns the constraint engine (Γ bound to N).
+func (p *PMN) Engine() *constraints.Engine { return p.engine }
+
+// Store returns the current sample set Ω*.
+func (p *PMN) Store() *sampling.Store { return p.store }
+
+// Feedback returns the user input collected so far.
+func (p *PMN) Feedback() *Feedback { return p.feedback }
+
+// refill populates the store per §III-B: for the exact configuration it
+// enumerates all instances; otherwise it samples, and if after two
+// consecutive samplings the store is still below n_min, it concludes
+// that all matching instances have been generated (Ω* = Ω).
+func (p *PMN) refill() {
+	if p.cfg.Exact {
+		instances, err := sampling.EnumerateAll(
+			p.engine, p.feedback.Approved(), p.feedback.Disapproved(), p.cfg.ExactLimit)
+		if err == nil {
+			p.store = sampling.NewStore(p.Network().NumCandidates(), p.sampler.Config().NMin)
+			for _, inst := range instances {
+				p.store.Add(inst)
+			}
+			p.store.MarkComplete()
+			p.exactAll = true
+			return
+		}
+		// Enumeration overflowed the limit: fall back to sampling.
+		p.exactAll = false
+	}
+	for round := 0; round < 2 && p.store.NeedsResample(); round++ {
+		p.sampler.SampleInto(p.store, p.feedback.Approved(), p.feedback.Disapproved(), p.cfg.Samples)
+	}
+	if p.store.NeedsResample() {
+		// Two consecutive samplings could not reach n_min: the actual
+		// number of matching instances is below n_min and the store
+		// holds all of them.
+		p.store.MarkComplete()
+	}
+}
+
+// recompute refreshes P from the store, overriding asserted candidates
+// with 1/0 (assertions are always right, §II-B).
+func (p *PMN) recompute() {
+	p.probs = p.store.Probabilities()
+	for _, a := range p.feedback.History() {
+		if a.Approved {
+			p.probs[a.Cand] = 1
+		} else {
+			p.probs[a.Cand] = 0
+		}
+	}
+}
+
+// Probabilities returns a copy of P.
+func (p *PMN) Probabilities() []float64 {
+	out := make([]float64, len(p.probs))
+	copy(out, p.probs)
+	return out
+}
+
+// Probability returns p_c.
+func (p *PMN) Probability(c int) float64 { return p.probs[c] }
+
+// Assert integrates one expert assertion: the feedback F is updated, the
+// sample set is view-maintained, resampled if it fell below n_min, and
+// the probabilities are recomputed (§III-B, step (3) of Algorithm 1).
+func (p *PMN) Assert(c int, approve bool) error {
+	if err := p.feedback.assert(c, approve); err != nil {
+		return err
+	}
+	p.store.ApplyAssertion(c, approve)
+	if p.cfg.Exact && p.exactAll && !approve {
+		// Disapproval can surface instances that were not maximal
+		// before; re-enumerate to stay exact.
+		p.refill()
+	} else if p.store.NeedsResample() {
+		p.refill()
+	}
+	p.recompute()
+	return nil
+}
+
+// Uncertain returns the candidates with 0 < p_c < 1, the only ones that
+// contribute to network uncertainty and qualify for selection
+// (Algorithm 1, line 3).
+func (p *PMN) Uncertain() []int {
+	var out []int
+	for c, pc := range p.probs {
+		if pc > 0 && pc < 1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Entropy returns the network uncertainty H(C, P) of Equation 3.
+func (p *PMN) Entropy() float64 { return EntropyOf(p.probs) }

@@ -1,0 +1,89 @@
+package core
+
+import "math"
+
+// BinaryEntropy returns −p·log₂p − (1−p)·log₂(1−p), the entropy of one
+// correspondence-selection variable; 0 at p ∈ {0, 1}.
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// EntropyOf computes the network uncertainty H(C, P) of Equation 3: the
+// sum of binary entropies over all candidates. Certain candidates
+// (p ∈ {0, 1}) contribute nothing, matching the paper's observation that
+// H(C, P) = H({c | 0 < p_c < 1}, P).
+func EntropyOf(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		h += BinaryEntropy(p)
+	}
+	return h
+}
+
+// ConditionalEntropy returns H(C | c, P) of Equation 4: the expected
+// network uncertainty after the expert asserts c, estimated by
+// partitioning the current sample set on membership of c (the exact
+// update view maintenance would perform for either answer).
+func (p *PMN) ConditionalEntropy(c int) float64 {
+	pc := p.probs[c]
+	if pc <= 0 || pc >= 1 {
+		// Certain candidates: the assertion outcome is already known and
+		// changes nothing.
+		return p.Entropy()
+	}
+	hPlus := p.partitionEntropy(c, true)
+	hMinus := p.partitionEntropy(c, false)
+	return pc*hPlus + (1-pc)*hMinus
+}
+
+// partitionEntropy computes H(C, P±) over the sub-population of samples
+// that contain (or exclude) c.
+func (p *PMN) partitionEntropy(c int, withC bool) float64 {
+	counts, total := p.store.CondCounts(c, withC)
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for d, cnt := range counts {
+		if p.feedback.IsAsserted(d) {
+			continue // asserted candidates stay certain in P±
+		}
+		h += BinaryEntropy(float64(cnt) / float64(total))
+	}
+	return h
+}
+
+// InformationGain returns IG(c) of Equation 5: the expected uncertainty
+// reduction from asserting c. It is zero for certain candidates.
+func (p *PMN) InformationGain(c int) float64 {
+	pc := p.probs[c]
+	if pc <= 0 || pc >= 1 {
+		return 0
+	}
+	ig := p.Entropy() - p.ConditionalEntropy(c)
+	if ig < 0 {
+		// Sampling noise can produce slightly negative estimates; clamp
+		// so ordering degenerates gracefully to "no expected gain".
+		return 0
+	}
+	return ig
+}
+
+// InformationGains returns IG(c) for every candidate.
+func (p *PMN) InformationGains() []float64 {
+	out := make([]float64, len(p.probs))
+	h := p.Entropy()
+	for c, pc := range p.probs {
+		if pc <= 0 || pc >= 1 {
+			continue
+		}
+		ig := h - p.ConditionalEntropy(c)
+		if ig > 0 {
+			out[c] = ig
+		}
+	}
+	return out
+}

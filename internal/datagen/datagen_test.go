@@ -1,0 +1,376 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"schemanet/internal/constraints"
+	"schemanet/internal/schema"
+)
+
+func TestConceptPoolDistinctAndSized(t *testing.T) {
+	for _, d := range []*Domain{BusinessPartner(), PurchaseOrder(), UniversityApplication(), WebForms()} {
+		pool := d.ConceptPool(200)
+		if len(pool) != 200 {
+			t.Fatalf("%s: pool size = %d, want 200", d.Name, len(pool))
+		}
+		seen := make(map[string]bool)
+		for _, c := range pool {
+			if seen[c] {
+				t.Fatalf("%s: duplicate concept %q", d.Name, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestConceptPoolDeterministic(t *testing.T) {
+	a := PurchaseOrder().ConceptPool(150)
+	b := PurchaseOrder().ConceptPool(150)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pool not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateRespectsProfileShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []Profile{Scale(BP(), 0.5), Scale(UAF(), 0.3), Scale(WebForm(), 0.15)} {
+		d, err := Generate(p, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		net := d.Network
+		if net.NumSchemas() != p.NumSchemas {
+			t.Errorf("%s: schemas = %d, want %d", p.Name, net.NumSchemas(), p.NumSchemas)
+		}
+		mn, mx := net.AttributeRange()
+		if mn < p.MinAttrs || mx > p.MaxAttrs {
+			t.Errorf("%s: attribute range %d..%d outside profile %d..%d",
+				p.Name, mn, mx, p.MinAttrs, p.MaxAttrs)
+		}
+		if !net.Interaction().IsConnected() {
+			t.Errorf("%s: interaction graph disconnected", p.Name)
+		}
+		if d.GroundTruth.Size() == 0 {
+			t.Errorf("%s: empty ground truth", p.Name)
+		}
+	}
+}
+
+func TestGenerateFullProfilesShape(t *testing.T) {
+	// The unscaled Table II shapes must be generatable.
+	if testing.Short() {
+		t.Skip("full profiles in short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range Profiles() {
+		d, err := Generate(p, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if d.Network.NumSchemas() != p.NumSchemas {
+			t.Errorf("%s: wrong schema count", p.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministicUnderSeed(t *testing.T) {
+	p := Scale(BP(), 0.3)
+	d1 := MustGenerate(p, rand.New(rand.NewSource(11)))
+	d2 := MustGenerate(p, rand.New(rand.NewSource(11)))
+	if d1.Network.NumAttributes() != d2.Network.NumAttributes() {
+		t.Fatal("attribute counts differ under the same seed")
+	}
+	for i := 0; i < d1.Network.NumAttributes(); i++ {
+		a := schema.AttrID(i)
+		if d1.Network.AttrName(a) != d2.Network.AttrName(a) {
+			t.Fatalf("attribute %d differs: %q vs %q", i,
+				d1.Network.AttrName(a), d2.Network.AttrName(a))
+		}
+	}
+	if d1.GroundTruth.Size() != d2.GroundTruth.Size() {
+		t.Fatal("ground truths differ under the same seed")
+	}
+}
+
+// TestGroundTruthSatisfiesConstraints verifies the central datagen
+// invariant: the concept-cluster ground truth is consistent under both
+// paper constraints (it is a valid selective matching).
+func TestGroundTruthSatisfiesConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		d := MustGenerate(Scale(BP(), 0.3), rng)
+		// Build a network whose candidates are exactly the ground truth.
+		var cands []schema.Correspondence
+		for _, p := range d.GroundTruth.Pairs() {
+			cands = append(cands, schema.Correspondence{A: p[0], B: p[1], Confidence: 1})
+		}
+		net, err := d.Network.WithCandidates(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := constraints.Default(net)
+		if !e.Consistent(e.FullInstance()) {
+			t.Fatalf("trial %d: ground truth violates constraints: %v",
+				trial, e.Violations(e.FullInstance())[:1])
+		}
+	}
+}
+
+func TestGroundTruthCoversSharedConcepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := MustGenerate(Scale(BP(), 0.3), rng)
+	// Every ground-truth pair must span an interaction edge and two
+	// distinct schemas.
+	for _, p := range d.GroundTruth.Pairs() {
+		sa, sb := d.Network.SchemaOf(p[0]), d.Network.SchemaOf(p[1])
+		if sa == sb {
+			t.Fatalf("ground-truth pair within one schema: %v", p)
+		}
+		if !d.Network.Interaction().HasEdge(int(sa), int(sb)) {
+			t.Fatalf("ground-truth pair across non-edge: %v", p)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(Profile{Name: "x"}, rng); err == nil {
+		t.Error("want error for missing domain")
+	}
+	if _, err := Generate(Profile{Name: "x", Domain: BusinessPartner(), NumSchemas: 1, MinAttrs: 5, MaxAttrs: 10}, rng); err == nil {
+		t.Error("want error for single schema")
+	}
+	if _, err := Generate(Profile{Name: "x", Domain: BusinessPartner(), NumSchemas: 3, MinAttrs: 10, MaxAttrs: 5}, rng); err == nil {
+		t.Error("want error for inverted attr range")
+	}
+}
+
+func TestErdosRenyiProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := Scale(BP(), 0.5)
+	p.NumSchemas = 8
+	p.EdgeProb = 0.3
+	d := MustGenerate(p, rng)
+	g := d.Network.Interaction()
+	if !g.IsConnected() {
+		t.Fatal("ER interaction graph must be connected")
+	}
+	if g.NumEdges() == 8*7/2 {
+		t.Log("warning: ER graph came out complete (possible but unlikely)")
+	}
+}
+
+func TestAttributeNamesUniquePerSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := MustGenerate(Scale(PO(), 0.2), rng)
+	for _, s := range d.Network.Schemas() {
+		seen := make(map[string]bool)
+		for _, a := range s.Attrs {
+			n := d.Network.AttrName(a)
+			if seen[n] {
+				t.Fatalf("schema %s has duplicate attribute %q", s.Name, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestCorruptionActuallyVariesNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := MustGenerate(Scale(BP(), 0.5), rng)
+	// Different schemas should not all use identical attribute names;
+	// count cross-schema ground-truth pairs with differing names.
+	differ := 0
+	for _, p := range d.GroundTruth.Pairs() {
+		if d.Network.AttrName(p[0]) != d.Network.AttrName(p[1]) {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Fatal("corruption produced no name variation at all")
+	}
+	frac := float64(differ) / float64(d.GroundTruth.Size())
+	t.Logf("ground-truth pairs with differing names: %.1f%%", 100*frac)
+	if frac < 0.2 {
+		t.Errorf("too little variation (%.2f) for matchers to be challenged", frac)
+	}
+}
+
+func TestRenderStyles(t *testing.T) {
+	tokens := []string{"order", "date"}
+	cases := map[caseStyle]string{
+		styleCamel:       "orderDate",
+		styleSnake:       "order_date",
+		stylePascal:      "OrderDate",
+		styleLowerConcat: "orderdate",
+	}
+	for style, want := range cases {
+		if got := render(tokens, style); got != want {
+			t.Errorf("render(%v) = %q, want %q", style, got, want)
+		}
+	}
+}
+
+func TestWeightedSampleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	w := func(i int) float64 { return 1 / (1 + float64(i)) }
+	got := weightedSample(50, 10, w, rng)
+	if len(got) != 10 {
+		t.Fatalf("sample size = %d, want 10", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 50 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	// k > n clamps.
+	if got := weightedSample(5, 10, w, rng); len(got) != 5 {
+		t.Fatalf("clamped sample size = %d, want 5", len(got))
+	}
+	// Heavier weights should be sampled more often.
+	heavy := 0
+	for trial := 0; trial < 300; trial++ {
+		s := weightedSample(20, 5, w, rng)
+		for _, v := range s {
+			if v == 0 {
+				heavy++
+			}
+		}
+	}
+	light := 0
+	for trial := 0; trial < 300; trial++ {
+		s := weightedSample(20, 5, w, rng)
+		for _, v := range s {
+			if v == 19 {
+				light++
+			}
+		}
+	}
+	if heavy <= light {
+		t.Errorf("weighting ineffective: index0 sampled %d times, index19 %d", heavy, light)
+	}
+}
+
+func TestSyntheticCandidatesPrecisionAndSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := MustGenerate(Scale(BP(), 0.4), rng)
+	opts := SyntheticOpts{TargetCount: 150, Precision: 0.6, ConflictBias: 0.7}
+	cands, err := SyntheticCandidates(d, opts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The target shrinks when ground truth is scarce so the requested
+	// precision is preserved; the count must never exceed the target.
+	if len(cands) > 150 || len(cands) < 20 {
+		t.Fatalf("candidate count = %d, want in (20, 150]", len(cands))
+	}
+	correct := 0
+	for _, c := range cands {
+		if d.GroundTruth.ContainsCorrespondence(c) {
+			correct++
+		}
+		if c.Confidence <= 0 || c.Confidence >= 1 {
+			t.Fatalf("confidence out of range: %v", c.Confidence)
+		}
+	}
+	prec := float64(correct) / float64(len(cands))
+	if prec < 0.45 || prec > 0.75 {
+		t.Errorf("synthetic precision = %.3f, want ≈ 0.6", prec)
+	}
+	// No duplicate pairs.
+	seen := make(map[[2]schema.AttrID]bool)
+	for _, c := range cands {
+		if seen[c.Pair()] {
+			t.Fatalf("duplicate synthetic candidate %v", c)
+		}
+		seen[c.Pair()] = true
+	}
+}
+
+func TestSyntheticCandidatesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := MustGenerate(Scale(BP(), 0.3), rng)
+	d2 := &schema.Dataset{Name: "no-gt", Network: d.Network}
+	if _, err := SyntheticCandidates(d2, DefaultSyntheticOpts(10), rng); err == nil {
+		t.Error("want error for missing ground truth")
+	}
+}
+
+func TestSyntheticNetworkBuildsValidNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d, err := SyntheticNetwork(Scale(BP(), 0.3), DefaultSyntheticOpts(120), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Network.NumCandidates() == 0 {
+		t.Fatal("no candidates in synthetic network")
+	}
+	// Candidates must respect the interaction graph (Build would have
+	// failed otherwise) — spot-check endpoints differ in schema.
+	for i := 0; i < d.Network.NumCandidates(); i++ {
+		c := d.Network.Candidate(i)
+		if d.Network.SchemaOf(c.A) == d.Network.SchemaOf(c.B) {
+			t.Fatalf("intra-schema candidate %v", c)
+		}
+	}
+}
+
+func TestGeneratedDatasetJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	d, err := SyntheticNetwork(Scale(BP(), 0.3), DefaultSyntheticOpts(80), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := schema.EncodeDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := schema.DecodeDataset(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Network.NumSchemas() != d.Network.NumSchemas() ||
+		back.Network.NumAttributes() != d.Network.NumAttributes() ||
+		back.Network.NumCandidates() != d.Network.NumCandidates() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			back.Network.NumSchemas(), back.Network.NumAttributes(), back.Network.NumCandidates(),
+			d.Network.NumSchemas(), d.Network.NumAttributes(), d.Network.NumCandidates())
+	}
+	if back.GroundTruth.Size() != d.GroundTruth.Size() {
+		t.Fatalf("ground truth size changed: %d vs %d",
+			back.GroundTruth.Size(), d.GroundTruth.Size())
+	}
+	// Candidate confidences survive bit-exactly through JSON.
+	for i := 0; i < d.Network.NumCandidates(); i++ {
+		c := d.Network.Candidate(i)
+		j := back.Network.CandidateIndex(c.A, c.B)
+		if j < 0 {
+			t.Fatalf("candidate %v lost in round trip", c)
+		}
+		if back.Network.Candidate(j).Confidence != c.Confidence {
+			t.Fatalf("confidence changed for %v", c)
+		}
+	}
+}
+
+func TestScaleProfile(t *testing.T) {
+	p := Scale(WebForm(), 0.1)
+	if p.NumSchemas != 9 {
+		t.Errorf("scaled schemas = %d, want 9", p.NumSchemas)
+	}
+	if p.MinAttrs < 3 {
+		t.Errorf("scaled min attrs = %d, want >= 3", p.MinAttrs)
+	}
+	if !strings.Contains(p.Name, "WebForm") {
+		t.Errorf("scaled name = %q", p.Name)
+	}
+}

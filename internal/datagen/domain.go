@@ -1,0 +1,232 @@
+// Package datagen generates synthetic schema matching datasets that
+// substitute for the paper's four proprietary corpora (BP, PO, UAF,
+// WebForm; §VI-A, Table II). A dataset is a set of schemas over a pool
+// of shared *concepts*: each concept contributes at most one attribute
+// per schema, so the induced ground-truth matching satisfies the
+// one-to-one and cycle constraints by construction — exactly the
+// properties the paper's selective matching has. Attribute names are
+// per-schema corruptions of the concept names (synonyms, abbreviations,
+// case styles), and confusable sibling concepts ("release date" vs
+// "production date") make matchers commit realistic errors.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Domain is a vocabulary from which concept names are built as
+// entity-field combinations ("purchase order" × "date" → "purchase order
+// date"), plus the substitution dictionaries used to corrupt names.
+type Domain struct {
+	Name     string
+	Entities []string
+	Fields   []string
+	// Synonyms maps a token to interchangeable alternatives.
+	Synonyms map[string][]string
+	// Abbrevs maps a token to a shorthand used by some schemas.
+	Abbrevs map[string]string
+	// Modifiers derive confusable sibling concepts ("release date" from
+	// "production date").
+	Modifiers []string
+}
+
+// ConceptPool returns n distinct concept names (token lists joined by
+// spaces). The full grid — bare entities, entity-field combinations,
+// and modifier-derived siblings — is generated and then deterministically
+// shuffled, so a pool of any size mixes short and long, confusable and
+// distinctive names (a size-n prefix of only bare entities would be
+// trivially matchable).
+func (d *Domain) ConceptPool(n int) []string {
+	var pool []string
+	seen := make(map[string]bool)
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			pool = append(pool, s)
+		}
+	}
+	for _, e := range d.Entities {
+		add(e)
+	}
+	for _, f := range d.Fields {
+		for _, e := range d.Entities {
+			add(e + " " + f)
+		}
+	}
+	for _, m := range d.Modifiers {
+		for _, e := range d.Entities {
+			for _, f := range d.Fields {
+				if len(pool) >= 3*n {
+					break
+				}
+				add(m + " " + e + " " + f)
+			}
+		}
+	}
+	if len(pool) < n {
+		panic(fmt.Sprintf("datagen: domain %s can only produce %d concepts, need %d",
+			d.Name, len(pool), n))
+	}
+	// Deterministic shuffle: the pool order is part of the domain
+	// definition, independent of the caller's rng.
+	shuffleRng := rand.New(rand.NewSource(int64(len(d.Name)) + 7919))
+	shuffleRng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool[:n]
+}
+
+// BusinessPartner models enterprise business-partner schemas (BP).
+func BusinessPartner() *Domain {
+	return &Domain{
+		Name: "business-partner",
+		Entities: []string{
+			"partner", "company", "contact", "customer", "vendor", "account",
+			"address", "bank", "person", "organization", "branch", "region",
+			"employee", "department", "role", "agreement",
+		},
+		Fields: []string{
+			"id", "name", "number", "type", "status", "code", "date",
+			"street", "city", "country", "postal code", "phone", "fax",
+			"email", "currency", "language", "tax number", "category",
+			"description", "created date", "modified date", "valid from",
+			"valid to", "group",
+		},
+		Synonyms: map[string][]string{
+			"id":       {"identifier", "key"},
+			"name":     {"title", "label"},
+			"number":   {"no", "num"},
+			"phone":    {"telephone", "tel"},
+			"street":   {"road"},
+			"company":  {"firm", "enterprise"},
+			"vendor":   {"supplier"},
+			"customer": {"client"},
+			"type":     {"kind"},
+			"code":     {"cd"},
+			"email":    {"mail"},
+			"country":  {"nation"},
+			"created":  {"creation"},
+			"modified": {"changed", "updated"},
+		},
+		Abbrevs: map[string]string{
+			"number": "nbr", "customer": "cust", "address": "addr",
+			"department": "dept", "organization": "org", "description": "desc",
+			"category": "cat", "telephone": "tel", "identifier": "id",
+		},
+		Modifiers: []string{"primary", "secondary", "billing", "shipping", "legal"},
+	}
+}
+
+// PurchaseOrder models e-business purchase-order schemas (PO).
+func PurchaseOrder() *Domain {
+	return &Domain{
+		Name: "purchase-order",
+		Entities: []string{
+			"order", "purchase order", "invoice", "item", "line item",
+			"supplier", "buyer", "shipment", "payment", "product", "tax",
+			"discount", "contract", "delivery", "billing", "warehouse",
+			"currency", "unit", "price", "contact", "address", "freight",
+			"quote", "receipt",
+		},
+		Fields: []string{
+			"id", "name", "number", "date", "code", "type", "status",
+			"amount", "quantity", "description", "street", "city", "country",
+			"postal code", "phone", "email", "total", "rate", "reference",
+			"comment", "due date", "issue date", "net amount", "gross amount",
+		},
+		Synonyms: map[string][]string{
+			"amount":   {"value", "sum"},
+			"quantity": {"count", "qty"},
+			"id":       {"identifier", "key"},
+			"number":   {"no", "num"},
+			"date":     {"day"},
+			"supplier": {"vendor", "seller"},
+			"buyer":    {"purchaser", "customer"},
+			"total":    {"sum total", "grand total"},
+			"price":    {"cost"},
+			"comment":  {"note", "remark"},
+			"type":     {"kind"},
+		},
+		Abbrevs: map[string]string{
+			"quantity": "qty", "amount": "amt", "purchase order": "po",
+			"number": "nbr", "description": "desc", "reference": "ref",
+			"payment": "pmt", "product": "prod", "order": "ord",
+		},
+		Modifiers: []string{"requested", "confirmed", "actual", "estimated", "original"},
+	}
+}
+
+// UniversityApplication models university application form schemas (UAF).
+func UniversityApplication() *Domain {
+	return &Domain{
+		Name: "university-application",
+		Entities: []string{
+			"applicant", "student", "school", "program", "degree", "course",
+			"test", "transcript", "recommendation", "essay", "address",
+			"guardian", "parent", "scholarship", "term", "major", "minor",
+			"enrollment", "admission", "residence", "citizenship", "fee",
+		},
+		Fields: []string{
+			"id", "name", "first name", "last name", "middle name", "date",
+			"date of birth", "gender", "status", "type", "score", "grade",
+			"year", "street", "city", "state", "country", "postal code",
+			"phone", "email", "gpa", "rank", "title", "code", "deadline",
+			"start date", "end date",
+		},
+		Synonyms: map[string][]string{
+			"applicant": {"candidate"},
+			"school":    {"institution", "college"},
+			"program":   {"course of study"},
+			"score":     {"result", "mark"},
+			"grade":     {"mark"},
+			"guardian":  {"parent"},
+			"phone":     {"telephone"},
+			"id":        {"identifier"},
+			"gender":    {"sex"},
+			"name":      {"title"},
+		},
+		Abbrevs: map[string]string{
+			"university": "univ", "first name": "fname", "last name": "lname",
+			"date of birth": "dob", "number": "num", "telephone": "tel",
+			"recommendation": "rec", "application": "app",
+		},
+		Modifiers: []string{"permanent", "mailing", "current", "previous", "intended"},
+	}
+}
+
+// WebForms models heterogeneous web-form schemas (WebForm).
+func WebForms() *Domain {
+	return &Domain{
+		Name: "web-form",
+		Entities: []string{
+			"user", "account", "contact", "profile", "search", "booking",
+			"flight", "hotel", "car", "movie", "book", "author", "title",
+			"price", "location", "date", "review", "rating", "payment",
+			"card", "passenger", "room", "guest",
+		},
+		Fields: []string{
+			"id", "name", "first name", "last name", "email", "password",
+			"phone", "street", "city", "state", "country", "zip", "type",
+			"number", "date", "time", "from", "to", "min", "max", "count",
+			"category", "keyword", "comment",
+		},
+		Synonyms: map[string][]string{
+			"zip":     {"postal code", "postcode"},
+			"phone":   {"telephone", "mobile"},
+			"email":   {"mail", "e mail"},
+			"keyword": {"query", "term"},
+			"count":   {"quantity"},
+			"price":   {"cost", "fare"},
+			"user":    {"member"},
+			"booking": {"reservation"},
+			"comment": {"message", "remark"},
+			"from":    {"origin", "departure"},
+			"to":      {"destination", "arrival"},
+		},
+		Abbrevs: map[string]string{
+			"number": "no", "password": "pwd", "message": "msg",
+			"quantity": "qty", "category": "cat", "telephone": "tel",
+			"address": "addr", "minimum": "min", "maximum": "max",
+		},
+		Modifiers: []string{"departure", "return", "check in", "check out", "preferred"},
+	}
+}

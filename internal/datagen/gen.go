@@ -1,0 +1,340 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"schemanet/internal/graphs"
+	"schemanet/internal/schema"
+)
+
+// Profile describes one synthetic dataset: its domain, the Table II
+// shape statistics, the interaction-graph model, and the name-corruption
+// strengths.
+type Profile struct {
+	Name       string
+	Domain     *Domain
+	NumSchemas int
+	MinAttrs   int
+	MaxAttrs   int
+	// PoolFactor sizes the shared concept pool as PoolFactor × MaxAttrs;
+	// values slightly above 1 keep schema overlap high but imperfect.
+	PoolFactor float64
+	// SynonymProb and AbbrevProb are per-token corruption probabilities.
+	SynonymProb float64
+	AbbrevProb  float64
+	// EdgeProb selects the interaction-graph model: 0 yields a complete
+	// graph (the paper's per-dataset setting); a positive value yields a
+	// connected Erdős–Rényi graph G(n, EdgeProb) (the Figure 6 settings).
+	EdgeProb float64
+}
+
+// BP reproduces the Business Partner shape of Table II: 3 schemas with
+// 80–106 attributes.
+func BP() Profile {
+	return Profile{
+		Name: "BP", Domain: BusinessPartner(),
+		NumSchemas: 3, MinAttrs: 80, MaxAttrs: 106,
+		PoolFactor: 1.2, SynonymProb: 0.35, AbbrevProb: 0.3,
+	}
+}
+
+// PO reproduces the PurchaseOrder shape of Table II: 10 schemas with
+// 35–408 attributes.
+func PO() Profile {
+	return Profile{
+		Name: "PO", Domain: PurchaseOrder(),
+		NumSchemas: 10, MinAttrs: 35, MaxAttrs: 408,
+		PoolFactor: 1.2, SynonymProb: 0.35, AbbrevProb: 0.3,
+	}
+}
+
+// UAF reproduces the University Application Form shape of Table II: 15
+// schemas with 65–228 attributes.
+func UAF() Profile {
+	return Profile{
+		Name: "UAF", Domain: UniversityApplication(),
+		NumSchemas: 15, MinAttrs: 65, MaxAttrs: 228,
+		PoolFactor: 1.2, SynonymProb: 0.4, AbbrevProb: 0.3,
+	}
+}
+
+// WebForm reproduces the WebForm shape of Table II: 89 schemas with
+// 10–120 attributes.
+func WebForm() Profile {
+	return Profile{
+		Name: "WebForm", Domain: WebForms(),
+		NumSchemas: 89, MinAttrs: 10, MaxAttrs: 120,
+		PoolFactor: 1.25, SynonymProb: 0.45, AbbrevProb: 0.35,
+	}
+}
+
+// Profiles returns the four dataset profiles in the paper's Table II
+// order.
+func Profiles() []Profile {
+	return []Profile{BP(), PO(), UAF(), WebForm()}
+}
+
+// Scale shrinks a profile by the given factor (0 < f <= 1) for quick
+// tests and CI runs, keeping at least 2 schemas and 3 attributes.
+func Scale(p Profile, f float64) Profile {
+	scale := func(v int) int {
+		s := int(math.Round(float64(v) * f))
+		if s < 3 {
+			s = 3
+		}
+		return s
+	}
+	p.Name = fmt.Sprintf("%s(x%.2g)", p.Name, f)
+	p.NumSchemas = int(math.Round(float64(p.NumSchemas) * f))
+	if p.NumSchemas < 2 {
+		p.NumSchemas = 2
+	}
+	p.MinAttrs = scale(p.MinAttrs)
+	p.MaxAttrs = scale(p.MaxAttrs)
+	if p.MaxAttrs < p.MinAttrs {
+		p.MaxAttrs = p.MinAttrs
+	}
+	return p
+}
+
+// caseStyle renders a token list in one schema-wide naming convention.
+type caseStyle int
+
+const (
+	styleCamel caseStyle = iota
+	styleSnake
+	stylePascal
+	styleLowerConcat
+	numStyles
+)
+
+func render(tokens []string, style caseStyle) string {
+	switch style {
+	case styleSnake:
+		return strings.Join(tokens, "_")
+	case styleLowerConcat:
+		return strings.Join(tokens, "")
+	case stylePascal:
+		var b strings.Builder
+		for _, t := range tokens {
+			b.WriteString(titleCase(t))
+		}
+		return b.String()
+	default: // styleCamel
+		var b strings.Builder
+		for i, t := range tokens {
+			if i == 0 {
+				b.WriteString(t)
+			} else {
+				b.WriteString(titleCase(t))
+			}
+		}
+		return b.String()
+	}
+}
+
+func titleCase(t string) string {
+	if t == "" {
+		return t
+	}
+	return strings.ToUpper(t[:1]) + t[1:]
+}
+
+// pickStyle draws a naming convention: camelCase and snake_case dominate
+// real schemas; separator-free lower concatenation is rarer but present
+// (it is the convention that most stresses the matchers).
+func pickStyle(rng *rand.Rand) caseStyle {
+	switch r := rng.Float64(); {
+	case r < 0.35:
+		return styleCamel
+	case r < 0.70:
+		return styleSnake
+	case r < 0.88:
+		return stylePascal
+	default:
+		return styleLowerConcat
+	}
+}
+
+// corrupt derives a schema-local attribute name from a concept name.
+// Corruption strength is per *name*, not per token — at most one synonym
+// swap and one abbreviation — so long concept names do not degrade into
+// unmatchable strings while short ones stay untouched.
+func corrupt(p Profile, concept string, style caseStyle, rng *rand.Rand) string {
+	name := concept
+	// Phrase-level abbreviations first ("purchase order" → "po").
+	if rng.Float64() < p.AbbrevProb {
+		for _, kv := range abbrevList(p.Domain.Abbrevs) {
+			if strings.Contains(kv[0], " ") && strings.Contains(name, kv[0]) {
+				name = strings.ReplaceAll(name, kv[0], kv[1])
+				break
+			}
+		}
+	}
+	tokens := strings.Fields(name)
+	if rng.Float64() < p.SynonymProb {
+		if i := pickEligible(tokens, rng, func(t string) bool { return len(p.Domain.Synonyms[t]) > 0 }); i >= 0 {
+			alts := p.Domain.Synonyms[tokens[i]]
+			repl := strings.Fields(alts[rng.Intn(len(alts))])
+			tokens = append(tokens[:i], append(repl, tokens[i+1:]...)...)
+		}
+	}
+	if rng.Float64() < p.AbbrevProb {
+		if i := pickEligible(tokens, rng, func(t string) bool { return p.Domain.Abbrevs[t] != "" }); i >= 0 {
+			tokens[i] = p.Domain.Abbrevs[tokens[i]]
+		}
+	}
+	return render(tokens, style)
+}
+
+// pickEligible returns the index of a uniformly chosen token satisfying
+// ok, or -1 when none qualifies.
+func pickEligible(tokens []string, rng *rand.Rand, ok func(string) bool) int {
+	var idxs []int
+	for i, t := range tokens {
+		if ok(t) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return -1
+	}
+	return idxs[rng.Intn(len(idxs))]
+}
+
+// abbrevList returns the abbreviation dictionary as deterministic sorted
+// key/value pairs (map iteration order must not leak into generation).
+func abbrevList(m map[string]string) [][2]string {
+	out := make([][2]string, 0, len(m))
+	for k, v := range m {
+		out = append(out, [2]string{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// weightedSample draws k distinct indices from n with probability
+// proportional to weights, using the Efraimidis–Spirakis exponential
+// key method.
+func weightedSample(n, k int, weight func(i int) float64, rng *rand.Rand) []int {
+	type keyed struct {
+		idx int
+		key float64
+	}
+	keys := make([]keyed, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		keys[i] = keyed{idx: i, key: math.Pow(u, 1/weight(i))}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].key > keys[b].key })
+	if k > n {
+		k = n
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = keys[i].idx
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Generate builds a dataset from the profile: schemas with corrupted
+// attribute names over a shared concept pool, an interaction graph, and
+// the concept-induced ground-truth selective matching.
+func Generate(p Profile, rng *rand.Rand) (*schema.Dataset, error) {
+	if p.Domain == nil {
+		return nil, fmt.Errorf("datagen: profile %q has no domain", p.Name)
+	}
+	if p.NumSchemas < 2 {
+		return nil, fmt.Errorf("datagen: profile %q needs at least 2 schemas", p.Name)
+	}
+	if p.MinAttrs < 1 || p.MaxAttrs < p.MinAttrs {
+		return nil, fmt.Errorf("datagen: profile %q has bad attribute range [%d,%d]",
+			p.Name, p.MinAttrs, p.MaxAttrs)
+	}
+	if p.PoolFactor < 1 {
+		p.PoolFactor = 1.2
+	}
+	poolSize := int(math.Ceil(float64(p.MaxAttrs) * p.PoolFactor))
+	concepts := p.Domain.ConceptPool(poolSize)
+
+	// Mild popularity decay: early concepts appear in most schemas.
+	weight := func(i int) float64 { return 1 / (1 + 0.015*float64(i)) }
+
+	b := schema.NewBuilder()
+	// conceptAttrs[k][s] = attribute id of concept k in schema s (or -1).
+	conceptAttrs := make([][]schema.AttrID, len(concepts))
+	for k := range conceptAttrs {
+		conceptAttrs[k] = make([]schema.AttrID, p.NumSchemas)
+		for s := range conceptAttrs[k] {
+			conceptAttrs[k][s] = -1
+		}
+	}
+
+	nextAttr := schema.AttrID(0)
+	for s := 0; s < p.NumSchemas; s++ {
+		size := p.MinAttrs
+		if p.MaxAttrs > p.MinAttrs {
+			size += rng.Intn(p.MaxAttrs - p.MinAttrs + 1)
+		}
+		chosen := weightedSample(len(concepts), size, weight, rng)
+		style := pickStyle(rng)
+		names := make([]string, 0, len(chosen))
+		used := make(map[string]bool, len(chosen))
+		for _, k := range chosen {
+			name := corrupt(p, concepts[k], style, rng)
+			for i := 2; used[name]; i++ {
+				name = fmt.Sprintf("%s%d", name, i)
+			}
+			used[name] = true
+			names = append(names, name)
+		}
+		b.AddSchema(fmt.Sprintf("%s_s%02d", p.Name, s), names...)
+		for _, k := range chosen {
+			conceptAttrs[k][s] = nextAttr
+			nextAttr++
+		}
+	}
+
+	var g *graphs.Graph
+	if p.EdgeProb > 0 {
+		g = graphs.ErdosRenyiConnected(p.NumSchemas, p.EdgeProb, rng)
+		b.SetInteraction(g)
+	} else {
+		b.ConnectAll()
+		g = graphs.Complete(p.NumSchemas)
+	}
+
+	net, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	gt := schema.NewMatching()
+	for _, e := range g.Edges() {
+		for k := range concepts {
+			a := conceptAttrs[k][e.U]
+			bb := conceptAttrs[k][e.V]
+			if a >= 0 && bb >= 0 {
+				gt.Add(a, bb)
+			}
+		}
+	}
+	return &schema.Dataset{Name: p.Name, Network: net, GroundTruth: gt}, nil
+}
+
+// MustGenerate is Generate that panics on error; for tests and examples.
+func MustGenerate(p Profile, rng *rand.Rand) *schema.Dataset {
+	d, err := Generate(p, rng)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

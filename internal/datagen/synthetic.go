@@ -1,0 +1,143 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schemanet/internal/schema"
+)
+
+// SyntheticOpts controls direct candidate synthesis. Instead of running
+// a matcher, SyntheticCandidates fabricates a candidate set with a
+// controlled precision/size directly from the ground truth — the right
+// tool for experiments that measure the downstream machinery (sampling
+// time in Fig. 6, approximation quality in Fig. 7) rather than matcher
+// quality.
+type SyntheticOpts struct {
+	// TargetCount is the desired |C|; 0 means all ground-truth pairs
+	// plus the implied decoys.
+	TargetCount int
+	// Precision is the fraction of candidates drawn from the ground
+	// truth (the rest are decoys). Clamped to (0, 1].
+	Precision float64
+	// ConflictBias is the probability that a decoy shares an attribute
+	// with an already chosen candidate (creating one-to-one conflicts)
+	// rather than being a uniformly random wrong pair.
+	ConflictBias float64
+	// StrictCount keeps TargetCount even when the ground truth cannot
+	// supply enough correct candidates (the precision drops instead).
+	// The network-size sweeps (Figures 6 and 7) need exact |C|.
+	StrictCount bool
+}
+
+// DefaultSyntheticOpts mimics the paper's matcher-output statistics:
+// precision ≈ 0.67 with conflict-heavy decoys.
+func DefaultSyntheticOpts(targetCount int) SyntheticOpts {
+	return SyntheticOpts{TargetCount: targetCount, Precision: 0.67, ConflictBias: 0.7}
+}
+
+// SyntheticCandidates fabricates a candidate correspondence set for the
+// dataset's network. Correct candidates receive confidences in
+// [0.55, 0.95], decoys in [0.35, 0.8], so confidence overlaps but
+// correlates with correctness, like real matcher output.
+func SyntheticCandidates(d *schema.Dataset, opts SyntheticOpts, rng *rand.Rand) ([]schema.Correspondence, error) {
+	if d.GroundTruth == nil {
+		return nil, fmt.Errorf("datagen: dataset %q has no ground truth", d.Name)
+	}
+	if opts.Precision <= 0 || opts.Precision > 1 {
+		opts.Precision = 0.67
+	}
+	net := d.Network
+	gtPairs := d.GroundTruth.Pairs()
+	if len(gtPairs) == 0 {
+		return nil, fmt.Errorf("datagen: dataset %q has empty ground truth", d.Name)
+	}
+
+	target := opts.TargetCount
+	if target <= 0 {
+		target = int(float64(len(gtPairs)) / opts.Precision)
+	}
+	nTrue := int(float64(target) * opts.Precision)
+	if nTrue > len(gtPairs) {
+		nTrue = len(gtPairs)
+		if !opts.StrictCount {
+			// Not enough ground truth for the requested size: shrink the
+			// candidate set rather than flooding it with decoys, so the
+			// requested precision is preserved.
+			target = int(float64(nTrue) / opts.Precision)
+		}
+	}
+	if nTrue < 1 {
+		nTrue = 1
+	}
+
+	seen := make(map[[2]schema.AttrID]bool)
+	var out []schema.Correspondence
+	add := func(a, b schema.AttrID, conf float64) bool {
+		c := schema.Correspondence{A: a, B: b, Confidence: conf}.Canonical()
+		if seen[c.Pair()] {
+			return false
+		}
+		seen[c.Pair()] = true
+		out = append(out, c)
+		return true
+	}
+
+	perm := rng.Perm(len(gtPairs))
+	for _, i := range perm[:nTrue] {
+		p := gtPairs[i]
+		add(p[0], p[1], 0.55+0.4*rng.Float64())
+	}
+
+	// Decoys: wrong pairs on interaction edges, biased toward sharing an
+	// attribute with an existing candidate.
+	edges := net.Interaction().Edges()
+	attempts := 0
+	maxAttempts := 50 * target
+	for len(out) < target && attempts < maxAttempts {
+		attempts++
+		var a, b schema.AttrID
+		if len(out) > 0 && rng.Float64() < opts.ConflictBias {
+			base := out[rng.Intn(len(out))]
+			shared := base.A
+			otherSchema := net.SchemaOf(base.B)
+			if rng.Intn(2) == 0 {
+				shared = base.B
+				otherSchema = net.SchemaOf(base.A)
+			}
+			attrs := net.SchemaByID(otherSchema).Attrs
+			a, b = shared, attrs[rng.Intn(len(attrs))]
+		} else {
+			e := edges[rng.Intn(len(edges))]
+			s1 := net.SchemaByID(schema.SchemaID(e.U)).Attrs
+			s2 := net.SchemaByID(schema.SchemaID(e.V)).Attrs
+			a, b = s1[rng.Intn(len(s1))], s2[rng.Intn(len(s2))]
+		}
+		if net.SchemaOf(a) == net.SchemaOf(b) {
+			continue
+		}
+		if d.GroundTruth.Contains(a, b) {
+			continue
+		}
+		add(a, b, 0.35+0.45*rng.Float64())
+	}
+	return out, nil
+}
+
+// SyntheticNetwork is a convenience that fabricates candidates and
+// returns the network carrying them (plus the dataset for ground truth).
+func SyntheticNetwork(p Profile, opts SyntheticOpts, rng *rand.Rand) (*schema.Dataset, error) {
+	d, err := Generate(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := SyntheticCandidates(d, opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	net, err := d.Network.WithCandidates(cands)
+	if err != nil {
+		return nil, err
+	}
+	return &schema.Dataset{Name: d.Name, Network: net, GroundTruth: d.GroundTruth}, nil
+}

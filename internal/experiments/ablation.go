@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"schemanet/internal/core"
+	"schemanet/internal/eval"
+	"schemanet/internal/sampling"
+)
+
+// AblationResult validates the design choices called out in DESIGN.md
+// with head-to-head comparisons that are not in the paper:
+//
+//   - sampling acceptance: simulated annealing vs plain random walk
+//     (K-L ratio against exact probabilities on small networks);
+//   - selection strategies beyond the paper's two: least-certain and
+//     by-confidence (area under the normalized-uncertainty curve, lower
+//     is better);
+//   - view maintenance vs resampling from scratch (distinct instances
+//     retained after a feedback burst, higher is better).
+type AblationResult struct {
+	KLAnneal   float64 // mean K-L ratio with annealing
+	KLNoAnneal float64 // mean K-L ratio without
+	// UncertaintyAUC maps strategy name → area under H/H0 over effort.
+	UncertaintyAUC map[string]float64
+	// MaintainedSize / ScratchSize compare store sizes after assertions
+	// with equal sampling budgets.
+	MaintainedSize float64
+	ScratchSize    float64
+	Runs           int
+}
+
+// Name implements Result.
+func (*AblationResult) Name() string { return "ablation" }
+
+// Render implements Result.
+func (r *AblationResult) Render(w io.Writer) error {
+	renderHeader(w, "Ablations")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Comparison\tVariant\tValue")
+	fmt.Fprintf(tw, "sampling acceptance (K-L ratio, lower better)\tannealing\t%.4f\n", r.KLAnneal)
+	fmt.Fprintf(tw, "\tplain walk\t%.4f\n", r.KLNoAnneal)
+	for _, s := range sortedKeys(r.UncertaintyAUC) {
+		fmt.Fprintf(tw, "strategy AUC of H/H0 (lower better)\t%s\t%.3f\n", s, r.UncertaintyAUC[s])
+	}
+	fmt.Fprintf(tw, "store size after feedback burst (higher better)\tview maintenance\t%.1f\n", r.MaintainedSize)
+	fmt.Fprintf(tw, "\tresample from scratch\t%.1f\n", r.ScratchSize)
+	return tw.Flush()
+}
+
+// Ablation runs the design-choice comparisons.
+func Ablation(cfg Config) (Result, error) {
+	runs := 10
+	if cfg.Quick {
+		runs = 3
+	}
+	if cfg.Runs > 0 {
+		runs = cfg.Runs
+	}
+	res := &AblationResult{UncertaintyAUC: map[string]float64{}, Runs: runs}
+
+	// --- Annealing vs plain walk on exactly-solvable networks.
+	for _, anneal := range []bool{true, false} {
+		var ratios []float64
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(run)))
+			d, err := fig7Dataset(14, rng)
+			if err != nil {
+				return nil, err
+			}
+			e := engineFor(d.Network)
+			exact, count, err := sampling.ExactProbabilities(e, nil, nil, 1<<20)
+			if err != nil || count == 0 {
+				continue
+			}
+			sCfg := sampling.DefaultConfig()
+			sCfg.Anneal = anneal
+			s := sampling.NewSampler(e, sCfg, rng)
+			store := sampling.NewStore(d.Network.NumCandidates(), math.MaxInt32)
+			s.SampleInto(store, nil, nil, 128)
+			ratios = append(ratios, eval.KLRatio(exact, store.SmoothedProbabilities()))
+		}
+		mean := eval.MeanStd(ratios).Mean
+		if anneal {
+			res.KLAnneal = mean
+		} else {
+			res.KLNoAnneal = mean
+		}
+	}
+
+	// --- Strategy comparison: AUC of the normalized uncertainty curve.
+	d, err := bpDataset(Config{Quick: true, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	n := d.Network.NumCandidates()
+	strategies := []core.Strategy{
+		core.RandomStrategy{}, core.InfoGainStrategy{},
+		core.LeastCertainStrategy{}, core.ByConfidenceStrategy{},
+	}
+	for _, s := range strategies {
+		total := 0.0
+		for run := 0; run < runs; run++ {
+			traj := runTrajectory(d, s, pmnConfig(Config{Quick: true}), cfg.Seed+int64(run*7+1))
+			h0 := traj[0].entropy
+			if h0 == 0 {
+				h0 = 1
+			}
+			curve := make(eval.Curve, 0, n+1)
+			for k := 0; k <= n; k++ {
+				curve = append(curve, eval.Point{X: float64(k) / float64(n), Y: traj[k].entropy / h0})
+			}
+			total += eval.AUC(curve)
+		}
+		res.UncertaintyAUC[s.Name()] = total / float64(runs)
+	}
+
+	// --- View maintenance vs resample-from-scratch.
+	var maintained, scratch float64
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(run*5+2)))
+		e := engineFor(d.Network)
+		s := sampling.NewSampler(e, sampling.DefaultConfig(), rng)
+		budget := 200
+
+		// View maintenance: one big initial sample, then filter on a
+		// burst of (ground-truth-consistent) assertions.
+		store := s.Sample(nil, nil, budget)
+		fb := core.NewFeedback(n)
+		for c := 0; c < n && fb.Count() < 10; c++ {
+			correct := d.GroundTruth.ContainsCorrespondence(d.Network.Candidate(c))
+			if correct {
+				fb.Approve(c)
+			} else {
+				fb.Disapprove(c)
+			}
+			store.ApplyAssertion(c, correct)
+		}
+		maintained += float64(store.Size())
+
+		// Scratch: spend the same sampling budget *after* the burst —
+		// the samples are consistent with the feedback but the budget
+		// is consumed once rather than amortized.
+		scratchStore := s.Sample(fb.Approved(), fb.Disapproved(), budget/10)
+		scratch += float64(scratchStore.Size())
+	}
+	res.MaintainedSize = maintained / float64(runs)
+	res.ScratchSize = scratch / float64(runs)
+	return res, nil
+}

@@ -1,0 +1,178 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI): Table II (dataset statistics), Table III (constraint
+// violations per matcher), Figure 6 (sampling time vs network size),
+// Figure 7 (sampling effectiveness, K-L ratio), Figure 8 (probability
+// vs correctness), Figure 9 (uncertainty reduction), Figure 10
+// (instantiation under ordering strategies), and Figure 11 (likelihood
+// criterion ablation) — plus design-choice ablations not in the paper.
+//
+// Each experiment has a Quick mode (scaled-down parameters with the same
+// shape, used by tests and the default bench run) and a Full mode close
+// to the paper's settings. See DESIGN.md for the per-experiment index
+// and EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"schemanet/internal/constraints"
+	"schemanet/internal/datagen"
+	"schemanet/internal/matcher"
+	"schemanet/internal/schema"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Quick selects the scaled-down parameter set.
+	Quick bool
+	// Seed makes runs reproducible.
+	Seed int64
+	// Runs overrides the number of repetitions (0 = experiment default).
+	Runs int
+}
+
+// Result is a renderable experiment outcome.
+type Result interface {
+	// Name returns the experiment identifier ("table2", "fig9", …).
+	Name() string
+	// Render writes a human-readable report.
+	Render(w io.Writer) error
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (Result, error)
+
+// Registry maps experiment identifiers to runners, in the paper's
+// order.
+func Registry() []struct {
+	Name   string
+	Title  string
+	Runner Runner
+} {
+	return []struct {
+		Name   string
+		Title  string
+		Runner Runner
+	}{
+		{"table2", "Table II: dataset statistics", TableII},
+		{"table3", "Table III: constraint violations per matcher", TableIII},
+		{"fig6", "Figure 6: sampling time vs network size", Fig6},
+		{"fig7", "Figure 7: sampling effectiveness (K-L ratio)", Fig7},
+		{"fig8", "Figure 8: probability vs correctness", Fig8},
+		{"fig9", "Figure 9: uncertainty reduction (Random vs Heuristic)", Fig9},
+		{"fig10", "Figure 10: instantiation under ordering strategies", Fig10},
+		{"fig11", "Figure 11: instantiation likelihood ablation", Fig11},
+		{"ablation", "Ablations: annealing, tabu, maximality, strategies", Ablation},
+		{"robust", "Robustness: noisy experts (extension)", Robust},
+	}
+}
+
+// Lookup returns the runner for an experiment name (case-insensitive),
+// or nil.
+func Lookup(name string) Runner {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.Name, name) {
+			return e.Runner
+		}
+	}
+	return nil
+}
+
+// profiles returns the four dataset profiles, scaled down in quick mode
+// (large enough that constraint violations remain plentiful).
+func profiles(cfg Config) []datagen.Profile {
+	ps := datagen.Profiles()
+	if !cfg.Quick {
+		return ps
+	}
+	out := make([]datagen.Profile, len(ps))
+	for i, p := range ps {
+		out[i] = datagen.Scale(p, 0.35)
+	}
+	return out
+}
+
+// matchers returns the two candidate generators of §VI-A.
+func matchers() []matcher.Matcher {
+	return []matcher.Matcher{matcher.NewCOMALike(), matcher.NewAMCLike()}
+}
+
+// matchedDataset generates the dataset for a profile and attaches the
+// matcher's candidates.
+func matchedDataset(p datagen.Profile, m matcher.Matcher, rng *rand.Rand) (*schema.Dataset, error) {
+	d, err := datagen.Generate(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	cands := m.Match(d.Network)
+	net, err := d.Network.WithCandidates(cands)
+	if err != nil {
+		return nil, err
+	}
+	return &schema.Dataset{Name: d.Name, Network: net, GroundTruth: d.GroundTruth}, nil
+}
+
+// engineFor builds the paper's constraint set for a network.
+func engineFor(net *schema.Network) *constraints.Engine {
+	return constraints.Default(net)
+}
+
+// newTable starts an aligned text table.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// renderHeader writes the experiment banner.
+func renderHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// parallelRuns executes fn(run) for run ∈ [0, runs) across up to
+// GOMAXPROCS workers. Each run must write only to its own slot of
+// pre-allocated result storage; per-run seeds keep results independent
+// of scheduling, so experiments stay deterministic.
+func parallelRuns(runs int, fn func(run int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		for run := 0; run < runs; run++ {
+			fn(run)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range next {
+				fn(run)
+			}
+		}()
+	}
+	for run := 0; run < runs; run++ {
+		next <- run
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"schemanet/internal/chart"
+	"schemanet/internal/core"
+	"schemanet/internal/instantiate"
+)
+
+// Fig11Row is one effort grid point of the likelihood ablation.
+type Fig11Row struct {
+	EffortPercent float64
+	Precision     map[string]float64 // "with" / "without"
+	Recall        map[string]float64
+}
+
+// Fig11Result reproduces Figure 11: the effect of the maximal-likelihood
+// criterion on instantiation quality (with vs without), under the
+// Heuristic ordering. Expected shape: with-likelihood dominates or ties
+// on both precision and recall at every effort level.
+type Fig11Result struct {
+	Rows       []Fig11Row
+	Runs       int
+	Candidates int
+	AvgGain    map[string]float64 // mean with−without gap
+}
+
+// Name implements Result.
+func (*Fig11Result) Name() string { return "fig11" }
+
+// Render implements Result.
+func (r *Fig11Result) Render(w io.Writer) error {
+	renderHeader(w, "Figure 11: instantiation likelihood ablation")
+	fmt.Fprintf(w, "runs: %d, candidates: %d\n", r.Runs, r.Candidates)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Effort (%)\tPrec without\tPrec with\tRec without\tRec with")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%.1f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			row.EffortPercent,
+			row.Precision["without"], row.Precision["with"],
+			row.Recall["without"], row.Recall["with"])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mean with-over-without gain: precision %+.3f, recall %+.3f\n",
+		r.AvgGain["precision"], r.AvgGain["recall"])
+	ch := chart.New("", "user effort (%)", "precision of H")
+	for _, name := range []string{"without", "with"} {
+		xs := make([]float64, 0, len(r.Rows))
+		ys := make([]float64, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			xs = append(xs, row.EffortPercent)
+			ys = append(ys, row.Precision[name])
+		}
+		ch.Add(name, xs, ys)
+	}
+	return ch.Render(w)
+}
+
+// Fig11 compares instantiation with and without the likelihood
+// criterion.
+func Fig11(cfg Config) (Result, error) {
+	d, err := bpDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runs := 20
+	iters := instantiate.DefaultConfig().Iterations
+	if cfg.Quick {
+		runs = 3
+		iters = 60
+	}
+	if cfg.Runs > 0 {
+		runs = cfg.Runs
+	}
+	n := d.Network.NumCandidates()
+	pcts, steps := fig10Grid(n, cfg.Quick)
+
+	variants := map[string]instantiate.Config{
+		"with":    {Iterations: iters, TabuSize: 7, UseLikelihood: true},
+		"without": {Iterations: iters, TabuSize: 7, UseLikelihood: false},
+	}
+
+	sums := map[string][2][]float64{}
+	for name, instCfg := range variants {
+		precs := make([][]float64, runs)
+		recs := make([][]float64, runs)
+		cfgCopy := instCfg
+		parallelRuns(runs, func(run int) {
+			precs[run], recs[run] = instantiateAt(d, core.InfoGainStrategy{}, steps, pmnConfig(cfg), cfgCopy, cfg.Seed+int64(run*13+5))
+		})
+		sp := make([]float64, len(steps))
+		sr := make([]float64, len(steps))
+		for run := 0; run < runs; run++ {
+			for i := range steps {
+				sp[i] += precs[run][i]
+				sr[i] += recs[run][i]
+			}
+		}
+		for i := range steps {
+			sp[i] /= float64(runs)
+			sr[i] /= float64(runs)
+		}
+		sums[name] = [2][]float64{sp, sr}
+	}
+
+	res := &Fig11Result{Runs: runs, Candidates: n, AvgGain: map[string]float64{}}
+	gp, gr := 0.0, 0.0
+	for i, pct := range pcts {
+		row := Fig11Row{
+			EffortPercent: pct,
+			Precision:     map[string]float64{},
+			Recall:        map[string]float64{},
+		}
+		for name, pr := range sums {
+			row.Precision[name] = pr[0][i]
+			row.Recall[name] = pr[1][i]
+		}
+		gp += row.Precision["with"] - row.Precision["without"]
+		gr += row.Recall["with"] - row.Recall["without"]
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgGain["precision"] = gp / float64(len(pcts))
+	res.AvgGain["recall"] = gr / float64(len(pcts))
+	return res, nil
+}

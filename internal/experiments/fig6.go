@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"schemanet/internal/datagen"
+	"schemanet/internal/sampling"
+)
+
+// Fig6Row is one network-size setting: the measured sampling cost.
+type Fig6Row struct {
+	Correspondences int
+	TimePerSample   time.Duration
+	Samples         int
+}
+
+// Fig6Result reproduces Figure 6: the per-sample computation time of the
+// non-uniform sampler as the number of candidate correspondences grows
+// from 2^7 to 2^12. The expected shape is near-linear growth with
+// low-millisecond absolute values.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Name implements Result.
+func (*Fig6Result) Name() string { return "fig6" }
+
+// Render implements Result.
+func (r *Fig6Result) Render(w io.Writer) error {
+	renderHeader(w, "Figure 6: sampling time vs network size")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "#Correspondences\tTime/sample\tSamples")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%v\t%d\n", row.Correspondences, row.TimePerSample, row.Samples)
+	}
+	return tw.Flush()
+}
+
+// fig6Profile builds the Erdős–Rényi setting of one size: enough
+// schemas/attributes that the synthetic candidate generator can hit the
+// target |C| exactly.
+func fig6Profile(size int) datagen.Profile {
+	attrs := size / 16
+	if attrs < 12 {
+		attrs = 12
+	}
+	return datagen.Profile{
+		Name:        fmt.Sprintf("fig6-%d", size),
+		Domain:      datagen.PurchaseOrder(),
+		NumSchemas:  10,
+		MinAttrs:    attrs,
+		MaxAttrs:    attrs + attrs/4 + 1,
+		PoolFactor:  1.3,
+		SynonymProb: 0.2,
+		AbbrevProb:  0.15,
+		EdgeProb:    0.5,
+	}
+}
+
+// Fig6 measures the mean sampling time per emitted sample across network
+// sizes.
+func Fig6(cfg Config) (Result, error) {
+	sizes := []int{128, 256, 512, 1024, 2048, 4096}
+	samples := 1000
+	if cfg.Quick {
+		sizes = []int{128, 256, 512}
+		samples = 60
+	}
+	if cfg.Runs > 0 {
+		samples = cfg.Runs
+	}
+	var rows []Fig6Row
+	for _, size := range sizes {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(size)))
+		d, err := datagen.SyntheticNetwork(fig6Profile(size), datagen.SyntheticOpts{
+			TargetCount:  size,
+			Precision:    0.67,
+			ConflictBias: 0.7,
+			StrictCount:  true,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		if got := d.Network.NumCandidates(); got < size*9/10 {
+			return nil, fmt.Errorf("fig6: setting %d produced only %d candidates", size, got)
+		}
+		e := engineFor(d.Network)
+		s := sampling.NewSampler(e, sampling.DefaultConfig(), rng)
+		store := sampling.NewStore(d.Network.NumCandidates(), math.MaxInt32)
+		start := time.Now()
+		s.SampleInto(store, nil, nil, samples)
+		elapsed := time.Since(start)
+		rows = append(rows, Fig6Row{
+			Correspondences: d.Network.NumCandidates(),
+			TimePerSample:   elapsed / time.Duration(samples),
+			Samples:         samples,
+		})
+	}
+	return &Fig6Result{Rows: rows}, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"schemanet/internal/core"
+)
+
+// Fig8Bucket is one probability range of the histogram.
+type Fig8Bucket struct {
+	Lo, Hi           float64
+	CorrectPercent   float64 // % of all candidates: correct & in range
+	IncorrectPercent float64 // % of all candidates: incorrect & in range
+}
+
+// Fig8Result reproduces Figure 8: the relation between computed
+// probabilities and actual correctness on the BP dataset. Expected
+// shape: most mass above 0.5, and the correct:incorrect ratio growing
+// sharply with the probability.
+type Fig8Result struct {
+	Buckets    []Fig8Bucket
+	Candidates int
+	Precision  float64 // raw candidate precision for context
+}
+
+// Name implements Result.
+func (*Fig8Result) Name() string { return "fig8" }
+
+// Render implements Result.
+func (r *Fig8Result) Render(w io.Writer) error {
+	renderHeader(w, "Figure 8: probability vs correctness (BP)")
+	fmt.Fprintf(w, "candidates: %d, raw precision: %.3f\n", r.Candidates, r.Precision)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Probability\tCorrect (%)\tIncorrect (%)")
+	for _, b := range r.Buckets {
+		fmt.Fprintf(tw, "[%.1f, %.1f)\t%.1f\t%.1f\n", b.Lo, b.Hi, b.CorrectPercent, b.IncorrectPercent)
+	}
+	return tw.Flush()
+}
+
+// Fig8 computes the probability histogram for correct and incorrect
+// candidates of the BP dataset.
+func Fig8(cfg Config) (Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d, err := bpDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := engineFor(d.Network)
+	pmn := core.New(e, core.DefaultConfig(), rng)
+
+	const nBuckets = 10
+	correct := make([]int, nBuckets)
+	incorrect := make([]int, nBuckets)
+	total := d.Network.NumCandidates()
+	nCorrect := 0
+	for c := 0; c < total; c++ {
+		pc := pmn.Probability(c)
+		b := int(pc * nBuckets)
+		if b >= nBuckets {
+			b = nBuckets - 1
+		}
+		if d.GroundTruth.ContainsCorrespondence(d.Network.Candidate(c)) {
+			correct[b]++
+			nCorrect++
+		} else {
+			incorrect[b]++
+		}
+	}
+	res := &Fig8Result{Candidates: total}
+	if total > 0 {
+		res.Precision = float64(nCorrect) / float64(total)
+	}
+	for b := 0; b < nBuckets; b++ {
+		res.Buckets = append(res.Buckets, Fig8Bucket{
+			Lo:               float64(b) / nBuckets,
+			Hi:               float64(b+1) / nBuckets,
+			CorrectPercent:   100 * float64(correct[b]) / float64(max(total, 1)),
+			IncorrectPercent: 100 * float64(incorrect[b]) / float64(max(total, 1)),
+		})
+	}
+	return res, nil
+}

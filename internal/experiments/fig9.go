@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"schemanet/internal/chart"
+	"schemanet/internal/core"
+	"schemanet/internal/datagen"
+	"schemanet/internal/eval"
+	"schemanet/internal/matcher"
+	"schemanet/internal/schema"
+)
+
+// bpDataset builds the BP dataset with COMA-like candidates — the
+// workload of Figures 8–11. Quick mode shrinks the schemas but keeps all
+// three of them: a two-schema network would have no schema cycle and
+// degenerate the cycle constraint.
+func bpDataset(cfg Config) (*schema.Dataset, error) {
+	p := datagen.BP()
+	if cfg.Quick {
+		p.Name = "BP(quick)"
+		p.MinAttrs = 26
+		p.MaxAttrs = 36
+	}
+	return matchedDataset(p, matcher.NewCOMALike(), rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// pmnConfig returns the probability-computation configuration for the
+// reconciliation experiments.
+func pmnConfig(cfg Config) core.Config {
+	c := core.DefaultConfig()
+	if cfg.Quick {
+		c.Samples = 250
+		c.Sampler.NMin = 100
+	} else {
+		c.Samples = 1000
+		c.Sampler.NMin = 300
+	}
+	return c
+}
+
+// trajPoint is the network state after k assertions.
+type trajPoint struct {
+	entropy float64 // raw H(C, P)
+	prec    float64 // Prec(C \ F−) against the ground truth
+}
+
+// notDisapproved returns the candidate indices outside F−.
+func notDisapproved(p *core.PMN) []int {
+	n := p.Network().NumCandidates()
+	out := make([]int, 0, n)
+	for c := 0; c < n; c++ {
+		if !p.Feedback().IsDisapproved(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runTrajectory reconciles the dataset to exhaustion with the strategy,
+// recording entropy and Prec(C\F−) after every assertion (index k =
+// state after k assertions). The trajectory is padded to |C|+1 entries
+// with its final state so callers can index by absolute effort.
+func runTrajectory(d *schema.Dataset, strat core.Strategy, pmnCfg core.Config, seed int64) []trajPoint {
+	rng := rand.New(rand.NewSource(seed))
+	e := engineFor(d.Network)
+	pmn := core.New(e, pmnCfg, rng)
+	o := oracleFor(d)
+
+	record := func() trajPoint {
+		prec, _ := eval.PrecisionRecall(d.Network, notDisapproved(pmn), d.GroundTruth)
+		return trajPoint{entropy: pmn.Entropy(), prec: prec}
+	}
+	traj := []trajPoint{record()}
+	core.Reconcile(pmn, o, strat, core.FullGoal(), rng, func(core.StepInfo) {
+		traj = append(traj, record())
+	})
+	n := d.Network.NumCandidates()
+	for len(traj) < n+1 {
+		traj = append(traj, traj[len(traj)-1])
+	}
+	return traj
+}
+
+// oracleFor wraps the dataset ground truth as a core.Oracle.
+type gtOracle struct{ gt *schema.Matching }
+
+func (o gtOracle) Assert(c schema.Correspondence) bool {
+	return o.gt.ContainsCorrespondence(c)
+}
+
+func oracleFor(d *schema.Dataset) core.Oracle { return gtOracle{gt: d.GroundTruth} }
+
+// Fig9Row is one effort grid point.
+type Fig9Row struct {
+	EffortPercent float64
+	// Uncertainty and Precision map strategy name → mean value over
+	// runs. Uncertainty is normalized by the initial entropy so curves
+	// from different runs are comparable (the paper plots 0..1).
+	Uncertainty map[string]float64
+	Precision   map[string]float64
+}
+
+// Fig9Result reproduces Figure 9: uncertainty and Prec(C\F−) as user
+// effort grows, Random vs Heuristic (information gain). Expected shape:
+// the Heuristic curve drops (and precision rises) markedly faster; the
+// paper reports up to ~48% effort savings.
+type Fig9Result struct {
+	Rows       []Fig9Row
+	Runs       int
+	Candidates int
+	// EffortToUncertainty reports the effort (%) each strategy needed to
+	// push normalized uncertainty below 0.1 — the paper's headline
+	// comparison point.
+	EffortToUncertainty map[string]float64
+}
+
+// Name implements Result.
+func (*Fig9Result) Name() string { return "fig9" }
+
+// Render implements Result.
+func (r *Fig9Result) Render(w io.Writer) error {
+	renderHeader(w, "Figure 9: uncertainty reduction (Random vs Heuristic)")
+	fmt.Fprintf(w, "runs: %d, candidates: %d\n", r.Runs, r.Candidates)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Effort (%)\tH/H0 random\tH/H0 heuristic\tPrec random\tPrec heuristic")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%.0f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			row.EffortPercent,
+			row.Uncertainty["random"], row.Uncertainty["info-gain"],
+			row.Precision["random"], row.Precision["info-gain"])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, s := range sortedKeys(r.EffortToUncertainty) {
+		fmt.Fprintf(w, "effort to H/H0<0.1 (%s): %.0f%%\n", s, r.EffortToUncertainty[s])
+	}
+	ch := chart.New("", "user effort (%)", "H/H0")
+	ch.YMin, ch.YMax = 0, 1
+	for _, name := range []string{"random", "info-gain"} {
+		xs := make([]float64, 0, len(r.Rows))
+		ys := make([]float64, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			xs = append(xs, row.EffortPercent)
+			ys = append(ys, row.Uncertainty[name])
+		}
+		ch.Add(name, xs, ys)
+	}
+	return ch.Render(w)
+}
+
+// Fig9 runs the uncertainty-reduction comparison.
+func Fig9(cfg Config) (Result, error) {
+	d, err := bpDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runs := 50
+	gridStep := 5.0
+	if cfg.Quick {
+		runs = 3
+		gridStep = 10.0
+	}
+	if cfg.Runs > 0 {
+		runs = cfg.Runs
+	}
+	n := d.Network.NumCandidates()
+	strategies := []core.Strategy{core.RandomStrategy{}, core.InfoGainStrategy{}}
+
+	// meanTraj[strategy][k] = mean normalized entropy / precision.
+	type agg struct{ h, p []float64 }
+	means := map[string]agg{}
+	for _, s := range strategies {
+		trajs := make([][]trajPoint, runs)
+		parallelRuns(runs, func(run int) {
+			trajs[run] = runTrajectory(d, s, pmnConfig(cfg), cfg.Seed+int64(run*31+7))
+		})
+		sumH := make([]float64, n+1)
+		sumP := make([]float64, n+1)
+		for _, traj := range trajs {
+			h0 := traj[0].entropy
+			if h0 == 0 {
+				h0 = 1
+			}
+			for k := 0; k <= n; k++ {
+				sumH[k] += traj[k].entropy / h0
+				sumP[k] += traj[k].prec
+			}
+		}
+		for k := 0; k <= n; k++ {
+			sumH[k] /= float64(runs)
+			sumP[k] /= float64(runs)
+		}
+		means[s.Name()] = agg{h: sumH, p: sumP}
+	}
+
+	res := &Fig9Result{Runs: runs, Candidates: n, EffortToUncertainty: map[string]float64{}}
+	for pct := 0.0; pct <= 100; pct += gridStep {
+		k := int(pct / 100 * float64(n))
+		if k > n {
+			k = n
+		}
+		row := Fig9Row{
+			EffortPercent: pct,
+			Uncertainty:   map[string]float64{},
+			Precision:     map[string]float64{},
+		}
+		for name, a := range means {
+			row.Uncertainty[name] = a.h[k]
+			row.Precision[name] = a.p[k]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for name, a := range means {
+		eff := 100.0
+		for k := 0; k <= n; k++ {
+			if a.h[k] < 0.1 {
+				eff = 100 * float64(k) / float64(n)
+				break
+			}
+		}
+		res.EffortToUncertainty[name] = eff
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"schemanet/internal/datagen"
+)
+
+// TableIIRow is one dataset's shape statistics.
+type TableIIRow struct {
+	Dataset  string
+	Schemas  int
+	MinAttrs int
+	MaxAttrs int
+}
+
+// TableIIResult reproduces Table II: the statistics of the generated
+// datasets, which must match the profile targets.
+type TableIIResult struct {
+	Rows []TableIIRow
+}
+
+// Name implements Result.
+func (*TableIIResult) Name() string { return "table2" }
+
+// Render implements Result.
+func (r *TableIIResult) Render(w io.Writer) error {
+	renderHeader(w, "Table II: dataset statistics")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Dataset\t#Schemas\t#Attributes(Min/Max)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d/%d\n", row.Dataset, row.Schemas, row.MinAttrs, row.MaxAttrs)
+	}
+	return tw.Flush()
+}
+
+// TableII generates the four datasets and reports their shapes.
+func TableII(cfg Config) (Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []TableIIRow
+	for _, p := range profiles(cfg) {
+		d, err := datagen.Generate(p, rng)
+		if err != nil {
+			return nil, err
+		}
+		mn, mx := d.Network.AttributeRange()
+		rows = append(rows, TableIIRow{
+			Dataset:  p.Name,
+			Schemas:  d.Network.NumSchemas(),
+			MinAttrs: mn,
+			MaxAttrs: mx,
+		})
+	}
+	return &TableIIResult{Rows: rows}, nil
+}
+
+// TableIIIRow is one dataset's violation counts per matcher.
+type TableIIIRow struct {
+	Dataset    string
+	Candidates map[string]int // matcher name → |C|
+	Violations map[string]int // matcher name → #violations
+}
+
+// TableIIIResult reproduces Table III: the number of constraint
+// violations among the raw candidate correspondences of each matcher.
+type TableIIIResult struct {
+	Rows []TableIIIRow
+}
+
+// Name implements Result.
+func (*TableIIIResult) Name() string { return "table3" }
+
+// Render implements Result.
+func (r *TableIIIResult) Render(w io.Writer) error {
+	renderHeader(w, "Table III: constraint violations per matcher")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Dataset\tMatcher\t|C|\t#Violations")
+	for _, row := range r.Rows {
+		for _, m := range sortedKeys(row.Violations) {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", row.Dataset, m, row.Candidates[m], row.Violations[m])
+		}
+	}
+	return tw.Flush()
+}
+
+// TableIII runs both matchers on every dataset and counts the distinct
+// one-to-one and cycle violations among their candidates.
+func TableIII(cfg Config) (Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []TableIIIRow
+	for _, p := range profiles(cfg) {
+		row := TableIIIRow{
+			Dataset:    p.Name,
+			Candidates: make(map[string]int),
+			Violations: make(map[string]int),
+		}
+		for _, m := range matchers() {
+			d, err := matchedDataset(p, m, rand.New(rand.NewSource(cfg.Seed)))
+			if err != nil {
+				return nil, err
+			}
+			e := engineFor(d.Network)
+			row.Candidates[m.Name()] = d.Network.NumCandidates()
+			row.Violations[m.Name()] = e.ViolationCount(e.FullInstance())
+		}
+		rows = append(rows, row)
+		_ = rng
+	}
+	return &TableIIIResult{Rows: rows}, nil
+}

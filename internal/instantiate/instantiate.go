@@ -1,0 +1,205 @@
+// Package instantiate implements §V of the paper: deriving a single
+// trusted matching (an approximation of the selective matching) from a
+// probabilistic matching network at any time. The instantiation problem
+// — minimal repair distance Δ(I, C), then maximal likelihood u(I) — is
+// NP-complete (Theorem 1), so the package provides both the two-step
+// meta-heuristic of Algorithm 2 (greedy pickup among samples, then
+// randomized local search with roulette-wheel selection and a tabu
+// queue) and an exact solver for small networks used to validate it.
+package instantiate
+
+import (
+	"math"
+	"math/rand"
+
+	"schemanet/internal/bitset"
+	"schemanet/internal/constraints"
+	"schemanet/internal/sampling"
+)
+
+// Config parameterizes Algorithm 2.
+type Config struct {
+	// Iterations is the local-search bound k.
+	Iterations int
+	// TabuSize is the fixed size of the tabu queue; 0 disables tabu
+	// (an ablation switch).
+	TabuSize int
+	// UseLikelihood enables the maximal-likelihood tie-break between
+	// instances of equal repair distance (§V-A condition ii; Figure 11
+	// compares instantiation with and without it).
+	UseLikelihood bool
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig() Config {
+	return Config{Iterations: 200, TabuSize: 7, UseLikelihood: true}
+}
+
+// logLikelihood computes log u(I) = Σ_{c∈I} log p_c, clamping zero
+// probabilities (a sampled instance never contains a certainly-absent
+// correspondence, but local-search instances can).
+func logLikelihood(inst *bitset.Set, probs []float64) float64 {
+	const floor = 1e-12
+	ll := 0.0
+	inst.ForEach(func(c int) bool {
+		p := probs[c]
+		if p < floor {
+			p = floor
+		}
+		ll += math.Log(p)
+		return true
+	})
+	return ll
+}
+
+// better reports whether candidate instance b beats incumbent a under
+// the lexicographic objective: smaller repair distance first, then —
+// when likelihood is enabled — larger likelihood.
+func better(a, b *bitset.Set, full *bitset.Set, probs []float64, useLikelihood bool) bool {
+	da, db := a.SymmetricDiffCount(full), b.SymmetricDiffCount(full)
+	if db != da {
+		return db < da
+	}
+	if !useLikelihood {
+		return false
+	}
+	return logLikelihood(b, probs) > logLikelihood(a, probs)
+}
+
+// rouletteWheel picks one candidate with probability proportional to its
+// probability estimate (fitness-proportionate selection). When all
+// weights are zero it falls back to uniform choice. Returns -1 for an
+// empty pool.
+func rouletteWheel(pool []int, probs []float64, rng *rand.Rand) int {
+	if len(pool) == 0 {
+		return -1
+	}
+	total := 0.0
+	for _, c := range pool {
+		total += probs[c]
+	}
+	if total <= 0 {
+		return pool[rng.Intn(len(pool))]
+	}
+	r := rng.Float64() * total
+	for _, c := range pool {
+		r -= probs[c]
+		if r <= 0 {
+			return c
+		}
+	}
+	return pool[len(pool)-1]
+}
+
+// tabuQueue is the fixed-size forbidden list of Algorithm 2.
+type tabuQueue struct {
+	items []int
+	set   map[int]bool
+	size  int
+}
+
+func newTabuQueue(size int) *tabuQueue {
+	return &tabuQueue{set: make(map[int]bool), size: size}
+}
+
+func (q *tabuQueue) add(c int) {
+	if q.size <= 0 {
+		return
+	}
+	if q.set[c] {
+		return
+	}
+	q.items = append(q.items, c)
+	q.set[c] = true
+	if len(q.items) > q.size {
+		old := q.items[0]
+		q.items = q.items[1:]
+		delete(q.set, old)
+	}
+}
+
+func (q *tabuQueue) has(c int) bool { return q.set[c] }
+
+// Heuristic runs Algorithm 2 and returns the best matching instance
+// found: consistent, respecting the feedback, with near-minimal repair
+// distance and near-maximal likelihood. probs are the current
+// correspondence probabilities; approved/disapproved may be nil.
+func Heuristic(e *constraints.Engine, store *sampling.Store, probs []float64,
+	approved, disapproved *bitset.Set, cfg Config, rng *rand.Rand) *bitset.Set {
+
+	n := e.Network().NumCandidates()
+	full := e.FullInstance()
+
+	// Step 1: greedy pickup among the sampled instances — minimal repair
+	// distance, tie-broken by likelihood.
+	var best *bitset.Set
+	if store != nil {
+		store.ForEachInstance(func(inst *bitset.Set) bool {
+			if best == nil || better(best, inst, full, probs, cfg.UseLikelihood) {
+				best = inst
+			}
+			return true
+		})
+	}
+	if best == nil {
+		// No samples available: start from the approved set, saturated.
+		seed := e.NewInstance()
+		if approved != nil {
+			seed.UnionWith(approved)
+		}
+		e.Maximize(seed, disapproved, rng)
+		best = seed
+	}
+	best = best.Clone()
+
+	// Step 2: randomized local search with tabu.
+	cur := best.Clone()
+	tabu := newTabuQueue(cfg.TabuSize)
+	pool := make([]int, 0, n)
+	for i := 0; i < cfg.Iterations; i++ {
+		pool = pool[:0]
+		for c := 0; c < n; c++ {
+			if cur.Has(c) || tabu.has(c) {
+				continue
+			}
+			if disapproved != nil && disapproved.Has(c) {
+				continue
+			}
+			pool = append(pool, c)
+		}
+		c := rouletteWheel(pool, probs, rng)
+		if c < 0 {
+			break
+		}
+		tabu.add(c)
+		e.Repair(cur, c, approved)
+		e.Maximize(cur, disapproved, rng)
+		if better(best, cur, full, probs, cfg.UseLikelihood) {
+			best.CopyFrom(cur)
+		}
+	}
+	return best
+}
+
+// Exact solves the instantiation problem optimally by enumerating all
+// matching instances (exponential; for validating the heuristic on
+// small networks). limit caps enumeration as in sampling.EnumerateAll.
+func Exact(e *constraints.Engine, probs []float64, approved, disapproved *bitset.Set,
+	useLikelihood bool, limit int) (*bitset.Set, error) {
+
+	instances, err := sampling.EnumerateAll(e, approved, disapproved, limit)
+	if err != nil {
+		return nil, err
+	}
+	if len(instances) == 0 {
+		return e.NewInstance(), nil
+	}
+	full := e.FullInstance()
+	best := instances[0]
+	for _, inst := range instances[1:] {
+		if better(best, inst, full, probs, useLikelihood) {
+			best = inst
+		}
+	}
+	return best.Clone(), nil
+}

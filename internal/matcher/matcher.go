@@ -1,0 +1,129 @@
+package matcher
+
+import (
+	"runtime"
+	"sync"
+
+	"schemanet/internal/schema"
+	"schemanet/internal/similarity"
+)
+
+// Matcher produces candidate correspondences for every edge of a
+// network's interaction graph. Implementations are deterministic.
+type Matcher interface {
+	Name() string
+	Match(net *schema.Network) []schema.Correspondence
+}
+
+// Measure scores the similarity of two attribute names in [0, 1]. A
+// measure may close over corpus statistics built by the matcher.
+type Measure struct {
+	Name string
+	Fn   func(a, b string) float64
+}
+
+// MeasureSet builds the measures for one network; corpus-based measures
+// need the full attribute-name corpus before scoring.
+type MeasureSet func(corpus *similarity.Corpus) []Measure
+
+// corpusOf collects every attribute name of the network into a TF-IDF
+// corpus with abbreviation expansion.
+func corpusOf(net *schema.Network) *similarity.Corpus {
+	names := make([]string, 0, net.NumAttributes())
+	for _, s := range net.Schemas() {
+		for _, a := range s.Attrs {
+			names = append(names, net.AttrName(a))
+		}
+	}
+	return similarity.NewCorpus(names, similarity.DefaultAbbreviations())
+}
+
+// Normalized wraps a raw string measure so it compares the corpus's
+// canonical forms of the names (tokenized, segmented, abbreviation-
+// expanded).
+func Normalized(corpus *similarity.Corpus, fn func(a, b string) float64) func(a, b string) float64 {
+	return func(a, b string) float64 { return fn(corpus.Canon(a), corpus.Canon(b)) }
+}
+
+// stripSpaces removes spaces so gram/edit measures become robust across
+// naming conventions that drop separators entirely.
+func stripSpaces(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// Concatenated compares the canonical forms with spaces stripped.
+func Concatenated(corpus *similarity.Corpus, fn func(a, b string) float64) func(a, b string) float64 {
+	return func(a, b string) float64 {
+		return fn(stripSpaces(corpus.Canon(a)), stripSpaces(corpus.Canon(b)))
+	}
+}
+
+// DefaultMeasures is the standard first-line measure set shared by the
+// built-in matchers: edit-based, gram-based (token-aware and
+// separator-free), token-based, and corpus TF-IDF name similarity.
+func DefaultMeasures(corpus *similarity.Corpus) []Measure {
+	return []Measure{
+		{Name: "jaro-winkler", Fn: Normalized(corpus, similarity.JaroWinkler)},
+		{Name: "trigram-dice", Fn: Normalized(corpus, func(a, b string) float64 { return similarity.QGramDice(a, b, 3) })},
+		{Name: "concat-trigram", Fn: Concatenated(corpus, func(a, b string) float64 { return similarity.QGramDice(a, b, 3) })},
+		{Name: "token-jaccard", Fn: Normalized(corpus, similarity.TokenJaccard)},
+		{Name: "tfidf-cosine", Fn: corpus.Cosine},
+	}
+}
+
+// matchEdges runs score+select over every interaction edge and converts
+// selected cells to correspondences. Edges are scored in parallel (the
+// dominant cost on large networks — WebForm has ~3900 edges); results
+// are flattened in edge order, so the output is deterministic.
+func matchEdges(net *schema.Network, score func(rows, cols []schema.AttrID) *Matrix, sel Selector) []schema.Correspondence {
+	edges := net.Interaction().Edges()
+	perEdge := make([][]schema.Correspondence, len(edges))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(edges) {
+		workers = len(edges)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				e := edges[i]
+				s1 := net.SchemaByID(schema.SchemaID(e.U))
+				s2 := net.SchemaByID(schema.SchemaID(e.V))
+				m := score(s1.Attrs, s2.Attrs)
+				var out []schema.Correspondence
+				for _, cell := range sel.Select(m) {
+					out = append(out, schema.Correspondence{
+						A:          m.Rows[cell.Row],
+						B:          m.Cols[cell.Col],
+						Confidence: cell.Confidence,
+					}.Canonical())
+				}
+				perEdge[i] = out
+			}
+		}()
+	}
+	for i := range edges {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var out []schema.Correspondence
+	for _, cs := range perEdge {
+		out = append(out, cs...)
+	}
+	return out
+}

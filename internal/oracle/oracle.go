@@ -1,0 +1,77 @@
+// Package oracle simulates the expert user of the reconciliation
+// process. The paper assumes assertions are always right (§II-B); the
+// GroundTruth oracle implements exactly that, while Noisy models an
+// imperfect expert for robustness experiments (a non-paper extension).
+package oracle
+
+import (
+	"math/rand"
+
+	"schemanet/internal/schema"
+)
+
+// GroundTruth answers assertions from the dataset's selective matching.
+type GroundTruth struct {
+	m *schema.Matching
+}
+
+// NewGroundTruth builds an oracle over the selective matching M.
+func NewGroundTruth(m *schema.Matching) *GroundTruth {
+	return &GroundTruth{m: m}
+}
+
+// Assert reports whether c belongs to the selective matching.
+func (o *GroundTruth) Assert(c schema.Correspondence) bool {
+	return o.m.ContainsCorrespondence(c)
+}
+
+// Noisy wraps another oracle and flips each answer independently with
+// probability ErrRate.
+type Noisy struct {
+	base interface {
+		Assert(schema.Correspondence) bool
+	}
+	errRate float64
+	rng     *rand.Rand
+}
+
+// NewNoisy wraps base with the given error rate.
+func NewNoisy(base interface {
+	Assert(schema.Correspondence) bool
+}, errRate float64, rng *rand.Rand) *Noisy {
+	return &Noisy{base: base, errRate: errRate, rng: rng}
+}
+
+// Assert implements the oracle contract with injected noise.
+func (o *Noisy) Assert(c schema.Correspondence) bool {
+	ans := o.base.Assert(c)
+	if o.rng.Float64() < o.errRate {
+		return !ans
+	}
+	return ans
+}
+
+// Counting wraps another oracle and counts assertions; experiments use
+// it to verify effort accounting.
+type Counting struct {
+	base interface {
+		Assert(schema.Correspondence) bool
+	}
+	n int
+}
+
+// NewCounting wraps base.
+func NewCounting(base interface {
+	Assert(schema.Correspondence) bool
+}) *Counting {
+	return &Counting{base: base}
+}
+
+// Assert implements the oracle contract.
+func (o *Counting) Assert(c schema.Correspondence) bool {
+	o.n++
+	return o.base.Assert(c)
+}
+
+// Count returns the number of assertions answered.
+func (o *Counting) Count() int { return o.n }

@@ -1,0 +1,81 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemanet/internal/schema"
+)
+
+func matching() *schema.Matching {
+	m := schema.NewMatching()
+	m.Add(0, 5)
+	m.Add(1, 6)
+	return m
+}
+
+func TestGroundTruth(t *testing.T) {
+	o := NewGroundTruth(matching())
+	if !o.Assert(schema.Correspondence{A: 0, B: 5}) {
+		t.Fatal("correct pair rejected")
+	}
+	if !o.Assert(schema.Correspondence{A: 5, B: 0}) {
+		t.Fatal("order must not matter")
+	}
+	if o.Assert(schema.Correspondence{A: 0, B: 6}) {
+		t.Fatal("wrong pair accepted")
+	}
+}
+
+func TestNoisyZeroErrorIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o := NewNoisy(NewGroundTruth(matching()), 0, rng)
+	for i := 0; i < 50; i++ {
+		if !o.Assert(schema.Correspondence{A: 0, B: 5}) {
+			t.Fatal("zero-noise oracle flipped an answer")
+		}
+	}
+}
+
+func TestNoisyFlipsAtRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o := NewNoisy(NewGroundTruth(matching()), 0.3, rng)
+	flips := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if !o.Assert(schema.Correspondence{A: 0, B: 5}) {
+			flips++
+		}
+	}
+	rate := float64(flips) / trials
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("observed flip rate %.3f, want ≈ 0.3", rate)
+	}
+}
+
+func TestNoisyFullErrorInverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o := NewNoisy(NewGroundTruth(matching()), 1, rng)
+	if o.Assert(schema.Correspondence{A: 0, B: 5}) {
+		t.Fatal("error rate 1 must invert every answer")
+	}
+	if !o.Assert(schema.Correspondence{A: 0, B: 6}) {
+		t.Fatal("error rate 1 must invert every answer")
+	}
+}
+
+func TestCounting(t *testing.T) {
+	o := NewCounting(NewGroundTruth(matching()))
+	if o.Count() != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	o.Assert(schema.Correspondence{A: 0, B: 5})
+	o.Assert(schema.Correspondence{A: 0, B: 6})
+	if o.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", o.Count())
+	}
+	// Answers pass through unchanged.
+	if !o.Assert(schema.Correspondence{A: 1, B: 6}) {
+		t.Fatal("counting oracle altered the answer")
+	}
+}

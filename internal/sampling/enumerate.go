@@ -1,0 +1,113 @@
+package sampling
+
+import (
+	"fmt"
+
+	"schemanet/internal/bitset"
+	"schemanet/internal/constraints"
+)
+
+// ErrTooManyInstances is returned by EnumerateAll when the instance
+// count exceeds the caller's limit.
+type ErrTooManyInstances struct{ Limit int }
+
+func (e ErrTooManyInstances) Error() string {
+	return fmt.Sprintf("sampling: more than %d matching instances", e.Limit)
+}
+
+// EnumerateAll returns every matching instance of the network under the
+// given feedback: all maximal consistent subsets of the candidates that
+// include approved and exclude disapproved (Definition 1). The search is
+// exponential in the number of candidates; it powers the exact
+// probabilities of Equation 1 and the Figure 7 experiment, where
+// |C| ≤ 20. limit caps the number of instances (0 means no cap).
+//
+// If the approved set is itself inconsistent, no instance exists and an
+// empty slice is returned.
+func EnumerateAll(e *constraints.Engine, approved, disapproved *bitset.Set, limit int) ([]*bitset.Set, error) {
+	n := e.Network().NumCandidates()
+	base := e.NewInstance()
+	if approved != nil {
+		// Verify the approved set is self-consistent while building it.
+		ok := true
+		approved.ForEach(func(c int) bool {
+			if e.HasConflict(base, c) {
+				ok = false
+				return false
+			}
+			base.Add(c)
+			return true
+		})
+		if !ok {
+			return nil, nil
+		}
+	}
+
+	// Free candidates: not asserted either way.
+	var free []int
+	for c := 0; c < n; c++ {
+		if base.Has(c) || (disapproved != nil && disapproved.Has(c)) {
+			continue
+		}
+		free = append(free, c)
+	}
+
+	var out []*bitset.Set
+	var overflow error
+	cur := base.Clone()
+
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(free) {
+			if e.Maximal(cur, disapproved) {
+				if limit > 0 && len(out) >= limit {
+					overflow = ErrTooManyInstances{Limit: limit}
+					return false
+				}
+				out = append(out, cur.Clone())
+			}
+			return true
+		}
+		c := free[i]
+		// Include branch (only when consistent).
+		if !e.HasConflict(cur, c) {
+			cur.Add(c)
+			if !rec(i + 1) {
+				return false
+			}
+			cur.Remove(c)
+		}
+		// Exclude branch.
+		return rec(i + 1)
+	}
+	rec(0)
+	if overflow != nil {
+		return nil, overflow
+	}
+	return out, nil
+}
+
+// ExactProbabilities computes Equation 1 directly: for every candidate,
+// the fraction of all matching instances that contain it. It returns the
+// probabilities and the instance count. When no instance exists, all
+// probabilities are zero.
+func ExactProbabilities(e *constraints.Engine, approved, disapproved *bitset.Set, limit int) ([]float64, int, error) {
+	instances, err := EnumerateAll(e, approved, disapproved, limit)
+	if err != nil {
+		return nil, 0, err
+	}
+	probs := make([]float64, e.Network().NumCandidates())
+	if len(instances) == 0 {
+		return probs, 0, nil
+	}
+	for _, inst := range instances {
+		inst.ForEach(func(c int) bool {
+			probs[c]++
+			return true
+		})
+	}
+	for c := range probs {
+		probs[c] /= float64(len(instances))
+	}
+	return probs, len(instances), nil
+}

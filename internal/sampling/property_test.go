@@ -1,0 +1,195 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"schemanet/internal/bitset"
+	"schemanet/internal/constraints"
+	"schemanet/internal/datagen"
+	"schemanet/internal/schema"
+)
+
+// tinyNetwork builds a random small network for cross-validation between
+// the sampler and the exact enumerator.
+func tinyNetwork(t testing.TB, rng *rand.Rand) (*constraints.Engine, *schema.Dataset) {
+	t.Helper()
+	d, err := datagen.SyntheticNetwork(datagen.Profile{
+		Name: "tiny", Domain: datagen.BusinessPartner(),
+		NumSchemas: 3, MinAttrs: 4, MaxAttrs: 6, PoolFactor: 1.4,
+		SynonymProb: 0.2, AbbrevProb: 0.15,
+	}, datagen.SyntheticOpts{
+		TargetCount: 10 + rng.Intn(6), Precision: 0.6, ConflictBias: 0.7, StrictCount: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return constraints.Default(d.Network), d
+}
+
+// TestPropertySamplesAreInstances verifies the sampler's fundamental
+// contract on random networks: every emitted sample is a matching
+// instance (consistent + maximal, Definition 1) and appears in the
+// exact enumeration.
+func TestPropertySamplesAreInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 8; trial++ {
+		e, _ := tinyNetwork(t, rng)
+		all, err := EnumerateAll(e, nil, nil, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		universe := make(map[string]bool, len(all))
+		for _, inst := range all {
+			universe[inst.Key()] = true
+		}
+		s := NewSampler(e, DefaultConfig(), rng)
+		store := s.Sample(nil, nil, 80)
+		store.ForEachInstance(func(inst *bitset.Set) bool {
+			if !universe[inst.Key()] {
+				t.Errorf("trial %d: sampled %v is not a matching instance", trial, inst)
+			}
+			return true
+		})
+	}
+}
+
+// TestPropertySamplerCoverage: on tiny networks, a modest sampling
+// budget must discover the large majority of the instance space (the
+// quantity that drives Figure 7).
+func TestPropertySamplerCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	totalInstances, totalFound := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		e, _ := tinyNetwork(t, rng)
+		all, err := EnumerateAll(e, nil, nil, 1<<20)
+		if err != nil || len(all) == 0 {
+			continue
+		}
+		s := NewSampler(e, DefaultConfig(), rng)
+		store := s.Sample(nil, nil, 200)
+		totalInstances += len(all)
+		totalFound += store.Size()
+	}
+	if totalInstances == 0 {
+		t.Skip("no instances generated")
+	}
+	coverage := float64(totalFound) / float64(totalInstances)
+	t.Logf("aggregate coverage: %d/%d = %.2f", totalFound, totalInstances, coverage)
+	if coverage < 0.6 {
+		t.Fatalf("coverage %.2f too low", coverage)
+	}
+}
+
+// TestPropertyViewMaintenanceMatchesReenumeration: after an approval,
+// filtering the complete store must give exactly the enumeration under
+// the updated feedback (the §III-B approval-exactness claim).
+func TestPropertyViewMaintenanceApproval(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 6; trial++ {
+		e, _ := tinyNetwork(t, rng)
+		n := e.Network().NumCandidates()
+		all, err := EnumerateAll(e, nil, nil, 1<<20)
+		if err != nil || len(all) == 0 {
+			continue
+		}
+		store := NewStore(n, 1)
+		for _, inst := range all {
+			store.Add(inst)
+		}
+		store.MarkComplete()
+
+		// Pick a candidate present in some but not all instances.
+		c := -1
+		for cand := 0; cand < n; cand++ {
+			with, without := store.Partition(cand)
+			if with > 0 && without > 0 {
+				c = cand
+				break
+			}
+		}
+		if c < 0 {
+			continue
+		}
+		store.ApplyAssertion(c, true)
+
+		approved := bitset.FromIndices(n, c)
+		want, err := EnumerateAll(e, approved, nil, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if store.Size() != len(want) {
+			t.Fatalf("trial %d: filtered store has %d instances, enumeration %d",
+				trial, store.Size(), len(want))
+		}
+		wantKeys := make(map[string]bool, len(want))
+		for _, inst := range want {
+			wantKeys[inst.Key()] = true
+		}
+		store.ForEachInstance(func(inst *bitset.Set) bool {
+			if !wantKeys[inst.Key()] {
+				t.Errorf("trial %d: filtered instance %v not in re-enumeration", trial, inst)
+			}
+			return true
+		})
+	}
+}
+
+// TestPropertyExactProbabilitiesSumRule: Σ_c p_c equals the mean
+// instance size (both count instance-membership pairs).
+func TestPropertyExactProbabilitiesSumRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 6; trial++ {
+		e, _ := tinyNetwork(t, rng)
+		probs, count, err := ExactProbabilities(e, nil, nil, 1<<20)
+		if err != nil || count == 0 {
+			continue
+		}
+		all, err := EnumerateAll(e, nil, nil, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumP := 0.0
+		for _, p := range probs {
+			sumP += p
+		}
+		sumSize := 0
+		for _, inst := range all {
+			sumSize += inst.Count()
+		}
+		meanSize := float64(sumSize) / float64(len(all))
+		if math.Abs(sumP-meanSize) > 1e-9 {
+			t.Fatalf("trial %d: Σp = %v, mean instance size = %v", trial, sumP, meanSize)
+		}
+	}
+}
+
+// TestPropertyDisapprovalSupersets: every instance enumerated under a
+// disapproval is a superset-maximal set that would have been consistent
+// before; i.e. it is consistent under no feedback too (anti-monotone
+// constraints).
+func TestPropertyDisapprovalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 6; trial++ {
+		e, _ := tinyNetwork(t, rng)
+		n := e.Network().NumCandidates()
+		c := rng.Intn(n)
+		disapproved := bitset.FromIndices(n, c)
+		insts, err := EnumerateAll(e, nil, disapproved, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range insts {
+			if inst.Has(c) {
+				t.Fatalf("trial %d: instance contains disapproved candidate", trial)
+			}
+			if !e.Consistent(inst) {
+				t.Fatalf("trial %d: inconsistent instance under disapproval", trial)
+			}
+			if !e.Maximal(inst, disapproved) {
+				t.Fatalf("trial %d: non-maximal instance under disapproval", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package sampling implements §III of the paper: estimating
+// correspondence probabilities by sampling matching instances. It
+// provides the non-uniform sampler of Algorithm 3 (random walk with
+// simulated-annealing acceptance), an exact enumerator of all matching
+// instances for small networks (Equation 1 / Figure 7), and a sample
+// store with view maintenance under user assertions (§III-B).
+package sampling
+
+import (
+	"math"
+	"math/rand"
+
+	"schemanet/internal/bitset"
+	"schemanet/internal/constraints"
+)
+
+// Config parameterizes the sampler. The Anneal and Maximize switches
+// exist for the ablation benches; the paper's algorithm corresponds to
+// both being true.
+type Config struct {
+	// WalkSteps is k of Algorithm 3: random-walk steps per emitted
+	// sample.
+	WalkSteps int
+	// NMin is the view-maintenance tolerance threshold n_min of §III-B.
+	NMin int
+	// Anneal enables the simulated-annealing acceptance probability
+	// 1 − e^{−Δ}; when false every proposed move is accepted (plain
+	// random walk), which tends to stay inside one sample region.
+	Anneal bool
+	// Maximize saturates each sample to maximality (Definition 1).
+	Maximize bool
+	// RestartProb is the probability that an emission starts a fresh
+	// walk from a randomized maximal instance instead of continuing the
+	// current chain. Restarts are a standard local-search diversification
+	// that raises instance-space coverage — the quantity that governs
+	// the quality of the Equation 2 estimate (see DESIGN.md).
+	RestartProb float64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{WalkSteps: 4, NMin: 200, Anneal: true, Maximize: true, RestartProb: 0.5}
+}
+
+// Sampler draws matching instances for one network and constraint set.
+type Sampler struct {
+	engine *constraints.Engine
+	cfg    Config
+	rng    *rand.Rand
+}
+
+// NewSampler builds a sampler. rng must not be nil.
+func NewSampler(engine *constraints.Engine, cfg Config, rng *rand.Rand) *Sampler {
+	if cfg.WalkSteps <= 0 {
+		cfg.WalkSteps = DefaultConfig().WalkSteps
+	}
+	if cfg.NMin <= 0 {
+		cfg.NMin = DefaultConfig().NMin
+	}
+	return &Sampler{engine: engine, cfg: cfg, rng: rng}
+}
+
+// Config returns the sampler's configuration.
+func (s *Sampler) Config() Config { return s.cfg }
+
+// freeCandidates returns C \ F− \ I, the candidates eligible for a walk
+// move.
+func (s *Sampler) freeCandidates(inst, disapproved *bitset.Set) []int {
+	n := s.engine.Network().NumCandidates()
+	out := make([]int, 0, n)
+	for c := 0; c < n; c++ {
+		if inst.Has(c) || (disapproved != nil && disapproved.Has(c)) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// SampleInto runs Algorithm 3 for n emitted samples, adding each to the
+// store. The walk starts from the store's last instance when available,
+// otherwise from the approved set (I0 ← F+, saturated when Maximize is
+// on).
+func (s *Sampler) SampleInto(store *Store, approved, disapproved *bitset.Set, n int) {
+	fresh := func() *bitset.Set {
+		inst := s.engine.NewInstance()
+		if approved != nil {
+			inst.UnionWith(approved)
+		}
+		if s.cfg.Maximize {
+			s.engine.Maximize(inst, disapproved, s.rng)
+		}
+		return inst
+	}
+	cur := store.LastInstance()
+	if cur == nil {
+		cur = fresh()
+	} else {
+		cur = cur.Clone()
+	}
+
+	next := cur.Clone()
+	for i := 0; i < n; i++ {
+		if i > 0 && s.rng.Float64() < s.cfg.RestartProb {
+			cur = fresh()
+			next = cur.Clone()
+		}
+		for j := 0; j < s.cfg.WalkSteps; j++ {
+			free := s.freeCandidates(cur, disapproved)
+			if len(free) == 0 {
+				break
+			}
+			c := free[s.rng.Intn(len(free))]
+			next.CopyFrom(cur)
+			s.engine.Repair(next, c, approved)
+			if s.cfg.Maximize {
+				s.engine.Maximize(next, disapproved, s.rng)
+			}
+			delta := cur.SymmetricDiffCount(next)
+			accept := true
+			if s.cfg.Anneal {
+				accept = s.rng.Float64() < 1-math.Exp(-float64(delta))
+			}
+			if accept {
+				cur, next = next, cur
+			}
+		}
+		store.Add(cur)
+	}
+}
+
+// Sample is a convenience that creates a fresh store and fills it with n
+// samples.
+func (s *Sampler) Sample(approved, disapproved *bitset.Set, n int) *Store {
+	store := NewStore(s.engine.Network().NumCandidates(), s.cfg.NMin)
+	s.SampleInto(store, approved, disapproved, n)
+	return store
+}

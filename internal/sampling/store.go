@@ -1,0 +1,187 @@
+package sampling
+
+import "schemanet/internal/bitset"
+
+// Store is the sample set Ω* with view maintenance (§III-B). It holds
+// *distinct* matching instances: Equation 1 defines p_c over the set of
+// matching instances, so the estimate (Equation 2) is the fraction of
+// distinct sampled instances containing c — uniform over what sampling
+// has discovered. Coverage, not multiplicity, determines the estimate's
+// quality, which is why the sampler mixes restarts into its walk.
+type Store struct {
+	numCands  int
+	nmin      int
+	instances []*bitset.Set
+	index     map[string]int
+	counts    []int
+	complete  bool
+}
+
+// NewStore returns an empty store for networks with numCands candidates
+// and view-maintenance threshold nmin.
+func NewStore(numCands, nmin int) *Store {
+	return &Store{
+		numCands: numCands,
+		nmin:     nmin,
+		index:    make(map[string]int),
+		counts:   make([]int, numCands),
+	}
+}
+
+// Add inserts a copy of inst unless an identical instance is already
+// present; it reports whether the instance was new.
+func (st *Store) Add(inst *bitset.Set) bool {
+	key := inst.Key()
+	if _, dup := st.index[key]; dup {
+		return false
+	}
+	cp := inst.Clone()
+	st.index[key] = len(st.instances)
+	st.instances = append(st.instances, cp)
+	cp.ForEach(func(c int) bool {
+		st.counts[c]++
+		return true
+	})
+	return true
+}
+
+// Size returns |Ω*|, the number of distinct instances held.
+func (st *Store) Size() int { return len(st.instances) }
+
+// DistinctSize is an alias of Size (the store is a set).
+func (st *Store) DistinctSize() int { return len(st.instances) }
+
+// NumCandidates returns the candidate-universe size.
+func (st *Store) NumCandidates() int { return st.numCands }
+
+// NMin returns the view-maintenance threshold.
+func (st *Store) NMin() int { return st.nmin }
+
+// LastInstance returns the most recently added instance, or nil when the
+// store is empty. The sampler uses it to continue walks across
+// incremental refills. The returned set must not be mutated.
+func (st *Store) LastInstance() *bitset.Set {
+	if len(st.instances) == 0 {
+		return nil
+	}
+	return st.instances[len(st.instances)-1]
+}
+
+// Instance returns the i-th instance. The returned set must not be
+// mutated.
+func (st *Store) Instance(i int) *bitset.Set { return st.instances[i] }
+
+// Complete reports whether the store is known to hold every matching
+// instance (Ω* = Ω); probabilities are then exact per Equation 1.
+func (st *Store) Complete() bool { return st.complete }
+
+// MarkComplete records that the store holds all matching instances.
+func (st *Store) MarkComplete() { st.complete = true }
+
+// ClearComplete revokes completeness (needed after a disapproval, which
+// can surface maximal instances that no previous sample subsumed; see
+// DESIGN.md).
+func (st *Store) ClearComplete() { st.complete = false }
+
+// NeedsResample reports whether the store has fallen below nmin and is
+// not known to be complete.
+func (st *Store) NeedsResample() bool {
+	return !st.complete && len(st.instances) < st.nmin
+}
+
+// ApplyAssertion performs the view-maintenance update of §III-B:
+// approving c keeps only instances containing c; disapproving keeps only
+// instances without c.
+func (st *Store) ApplyAssertion(c int, approved bool) {
+	kept := st.instances[:0]
+	for _, inst := range st.instances {
+		if inst.Has(c) == approved {
+			kept = append(kept, inst)
+		} else {
+			delete(st.index, inst.Key())
+			inst.ForEach(func(d int) bool {
+				st.counts[d]--
+				return true
+			})
+		}
+	}
+	for i := len(kept); i < len(st.instances); i++ {
+		st.instances[i] = nil
+	}
+	st.instances = kept
+	for i, inst := range st.instances {
+		st.index[inst.Key()] = i
+	}
+	if !approved {
+		st.ClearComplete()
+	}
+}
+
+// Probability returns the estimated probability of candidate c
+// (Equation 2): the fraction of held instances containing c. It returns
+// 0 when the store is empty.
+func (st *Store) Probability(c int) float64 {
+	if len(st.instances) == 0 {
+		return 0
+	}
+	return float64(st.counts[c]) / float64(len(st.instances))
+}
+
+// Probabilities returns the probability estimates for all candidates.
+func (st *Store) Probabilities() []float64 {
+	out := make([]float64, st.numCands)
+	for c := range out {
+		out[c] = st.Probability(c)
+	}
+	return out
+}
+
+// SmoothedProbabilities returns add-half (Krichevsky–Trofimov) smoothed
+// estimates, (count + ½) / (size + 1). Finite sampling saturates raw
+// frequencies at exactly 0 or 1 even when the true probability is not;
+// divergence measurements against exact distributions (Figure 7) use
+// the smoothed form so a single saturated estimate cannot dominate.
+func (st *Store) SmoothedProbabilities() []float64 {
+	out := make([]float64, st.numCands)
+	n := float64(len(st.instances))
+	for c := range out {
+		out[c] = (float64(st.counts[c]) + 0.5) / (n + 1)
+	}
+	return out
+}
+
+// Partition returns how many instances contain c and how many do not.
+func (st *Store) Partition(c int) (with, without int) {
+	with = st.counts[c]
+	return with, len(st.instances) - with
+}
+
+// CondCounts returns, for every candidate d, the number of instances
+// that contain both c and d (when withC is true) or d but not c (when
+// withC is false), together with the number of instances in that
+// partition. The uncertainty-reduction step uses this to evaluate the
+// hypothetical networks P+ and P− of Equation 4 without resampling.
+func (st *Store) CondCounts(c int, withC bool) (counts []int, total int) {
+	counts = make([]int, st.numCands)
+	for _, inst := range st.instances {
+		if inst.Has(c) != withC {
+			continue
+		}
+		total++
+		inst.ForEach(func(d int) bool {
+			counts[d]++
+			return true
+		})
+	}
+	return counts, total
+}
+
+// ForEachInstance calls fn for every held instance; the sets must not be
+// mutated.
+func (st *Store) ForEachInstance(fn func(inst *bitset.Set) bool) {
+	for _, inst := range st.instances {
+		if !fn(inst) {
+			return
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"schemanet/internal/graphs"
+)
+
+// Builder incrementally assembles a Network. The zero value is ready to
+// use.
+type Builder struct {
+	schemas     []Schema
+	attrs       []Attribute
+	interaction *graphs.Graph
+	cands       []Correspondence
+	edges       [][2]SchemaID
+	err         error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddSchema registers a schema with the given attribute names and returns
+// its ID. Attribute names must be unique within the schema.
+func (b *Builder) AddSchema(name string, attrNames ...string) SchemaID {
+	id := SchemaID(len(b.schemas))
+	s := Schema{ID: id, Name: name}
+	seen := make(map[string]bool, len(attrNames))
+	for _, an := range attrNames {
+		if an == "" {
+			b.fail(fmt.Errorf("schema %q: empty attribute name", name))
+			continue
+		}
+		if seen[an] {
+			b.fail(fmt.Errorf("schema %q: duplicate attribute %q", name, an))
+			continue
+		}
+		seen[an] = true
+		aid := AttrID(len(b.attrs))
+		b.attrs = append(b.attrs, Attribute{ID: aid, Name: an, Schema: id})
+		s.Attrs = append(s.Attrs, aid)
+	}
+	b.schemas = append(b.schemas, s)
+	return id
+}
+
+// Connect declares that schemas s1 and s2 must be matched (an edge of the
+// interaction graph).
+func (b *Builder) Connect(s1, s2 SchemaID) {
+	if s1 == s2 {
+		b.fail(fmt.Errorf("interaction edge with identical endpoints %d", s1))
+		return
+	}
+	b.edges = append(b.edges, [2]SchemaID{s1, s2})
+}
+
+// ConnectAll declares a complete interaction graph over all schemas added
+// so far. The experiments of §VI use complete graphs per dataset.
+func (b *Builder) ConnectAll() {
+	for i := 0; i < len(b.schemas); i++ {
+		for j := i + 1; j < len(b.schemas); j++ {
+			b.edges = append(b.edges, [2]SchemaID{SchemaID(i), SchemaID(j)})
+		}
+	}
+}
+
+// SetInteraction installs an externally generated interaction graph whose
+// vertex v corresponds to SchemaID v (e.g. an Erdős–Rényi graph for the
+// Figure 6 settings). It overrides Connect/ConnectAll edges.
+func (b *Builder) SetInteraction(g *graphs.Graph) {
+	b.interaction = g
+}
+
+// AddCorrespondence adds a candidate correspondence between attributes a
+// and b with the given matcher confidence. Duplicate pairs keep the
+// higher confidence.
+func (b *Builder) AddCorrespondence(a, bb AttrID, confidence float64) {
+	b.cands = append(b.cands, Correspondence{A: a, B: bb, Confidence: confidence}.Canonical())
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates and freezes the network. Validation enforces: a
+// non-empty schema set, interaction vertices matching the schema count,
+// candidate endpoints in distinct schemas connected by an interaction
+// edge, and confidences within [0, 1]. Duplicate candidate pairs are
+// merged (max confidence wins).
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.schemas) == 0 {
+		return nil, errors.New("schema: network needs at least one schema")
+	}
+	g := b.interaction
+	if g == nil {
+		g = graphs.New(len(b.schemas))
+		for _, e := range b.edges {
+			if int(e[0]) >= len(b.schemas) || int(e[1]) >= len(b.schemas) || e[0] < 0 || e[1] < 0 {
+				return nil, fmt.Errorf("schema: interaction edge %v references unknown schema", e)
+			}
+			g.AddEdge(int(e[0]), int(e[1]))
+		}
+	}
+	if g.NumVertices() != len(b.schemas) {
+		return nil, fmt.Errorf("schema: interaction graph has %d vertices for %d schemas",
+			g.NumVertices(), len(b.schemas))
+	}
+
+	// Merge duplicates, keeping max confidence; validate endpoints.
+	merged := make(map[[2]AttrID]float64)
+	for _, c := range b.cands {
+		if int(c.A) >= len(b.attrs) || int(c.B) >= len(b.attrs) || c.A < 0 || c.B < 0 {
+			return nil, fmt.Errorf("schema: candidate %v references unknown attribute", c)
+		}
+		if c.A == c.B {
+			return nil, fmt.Errorf("schema: candidate with identical endpoints %d", c.A)
+		}
+		sa, sb := b.attrs[c.A].Schema, b.attrs[c.B].Schema
+		if sa == sb {
+			return nil, fmt.Errorf("schema: candidate %s-%s within one schema",
+				b.attrs[c.A].Name, b.attrs[c.B].Name)
+		}
+		if !g.HasEdge(int(sa), int(sb)) {
+			return nil, fmt.Errorf("schema: candidate %s-%s crosses non-interacting schemas %d,%d",
+				b.attrs[c.A].Name, b.attrs[c.B].Name, sa, sb)
+		}
+		if c.Confidence < 0 || c.Confidence > 1 {
+			return nil, fmt.Errorf("schema: confidence %v out of [0,1]", c.Confidence)
+		}
+		key := c.Pair()
+		if old, ok := merged[key]; !ok || c.Confidence > old {
+			merged[key] = c.Confidence
+		}
+	}
+	cands := make([]Correspondence, 0, len(merged))
+	for pair, conf := range merged {
+		cands = append(cands, Correspondence{A: pair[0], B: pair[1], Confidence: conf})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].A != cands[j].A {
+			return cands[i].A < cands[j].A
+		}
+		return cands[i].B < cands[j].B
+	})
+
+	n := &Network{
+		schemas:     b.schemas,
+		attrs:       b.attrs,
+		interaction: g,
+		cands:       cands,
+		byAttr:      make([][]int, len(b.attrs)),
+		pairIdx:     make(map[[2]AttrID]int, len(cands)),
+	}
+	for i, c := range cands {
+		n.byAttr[c.A] = append(n.byAttr[c.A], i)
+		n.byAttr[c.B] = append(n.byAttr[c.B], i)
+		n.pairIdx[c.Pair()] = i
+	}
+	return n, nil
+}
+
+// MustBuild is Build that panics on error; for tests and examples.
+func (b *Builder) MustBuild() *Network {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package similarity
+
+// Jaro returns the Jaro similarity of a and b in [0, 1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window
+		if hi >= lb {
+			hi = lb - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if !bMatched[j] && ra[i] == rb[j] {
+				aMatched[i] = true
+				bMatched[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions between the matched sequences.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix scale 0.1 and maximum prefix length 4.
+func JaroWinkler(a, b string) float64 {
+	const (
+		prefixScale = 0.1
+		maxPrefix   = 4
+	)
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	l := 0
+	for l < len(ra) && l < len(rb) && l < maxPrefix && ra[l] == rb[l] {
+		l++
+	}
+	return j + float64(l)*prefixScale*(1-j)
+}

@@ -1,0 +1,133 @@
+package similarity
+
+import "strings"
+
+// QGrams returns the multiset of q-grams of s as a count map, with the
+// string padded by q−1 leading and trailing '#' markers so that prefixes
+// and suffixes contribute distinctive grams.
+func QGrams(s string, q int) map[string]int {
+	if q <= 0 {
+		panic("similarity: q must be positive")
+	}
+	pad := strings.Repeat("#", q-1)
+	padded := []rune(pad + s + pad)
+	grams := make(map[string]int)
+	for i := 0; i+q <= len(padded); i++ {
+		grams[string(padded[i:i+q])]++
+	}
+	return grams
+}
+
+func gramOverlap(a, b map[string]int) (overlap, sizeA, sizeB int) {
+	for g, ca := range a {
+		sizeA += ca
+		if cb, ok := b[g]; ok {
+			if ca < cb {
+				overlap += ca
+			} else {
+				overlap += cb
+			}
+		}
+	}
+	for _, cb := range b {
+		sizeB += cb
+	}
+	return overlap, sizeA, sizeB
+}
+
+// QGramJaccard is the Jaccard coefficient over q-gram multisets:
+// |A ∩ B| / |A ∪ B| with multiset semantics.
+func QGramJaccard(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	overlap, sa, sb := gramOverlap(ga, gb)
+	union := sa + sb - overlap
+	if union == 0 {
+		return 1 // both strings empty of grams
+	}
+	return float64(overlap) / float64(union)
+}
+
+// QGramDice is the Dice coefficient 2·|A ∩ B| / (|A| + |B|) over q-gram
+// multisets.
+func QGramDice(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	overlap, sa, sb := gramOverlap(ga, gb)
+	if sa+sb == 0 {
+		return 1
+	}
+	return 2 * float64(overlap) / float64(sa+sb)
+}
+
+// OverlapCoefficient is |A ∩ B| / min(|A|, |B|) over q-gram multisets.
+func OverlapCoefficient(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	overlap, sa, sb := gramOverlap(ga, gb)
+	m := sa
+	if sb < m {
+		m = sb
+	}
+	if m == 0 {
+		if sa == 0 && sb == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(overlap) / float64(m)
+}
+
+// TokenJaccard is the Jaccard coefficient over the token *sets* of the
+// two names after tokenization.
+func TokenJaccard(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	setA := make(map[string]bool, len(ta))
+	for _, t := range ta {
+		setA[t] = true
+	}
+	setB := make(map[string]bool, len(tb))
+	for _, t := range tb {
+		setB[t] = true
+	}
+	inter := 0
+	for t := range setA {
+		if setB[t] {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// MongeElkan returns the Monge-Elkan similarity: for each token of a, the
+// best inner similarity against tokens of b, averaged. The measure is
+// asymmetric; use MongeElkanSym for a symmetric variant.
+func MongeElkan(a, b string, inner func(x, y string) float64) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := inner(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// MongeElkanSym is the mean of MongeElkan(a,b) and MongeElkan(b,a).
+func MongeElkanSym(a, b string, inner func(x, y string) float64) float64 {
+	return (MongeElkan(a, b, inner) + MongeElkan(b, a, inner)) / 2
+}

@@ -1,0 +1,136 @@
+package similarity
+
+import "sync"
+
+// Vocabulary holds token frequencies across a corpus of attribute names
+// and segments separator-free tokens ("companyid") into known words
+// ("company", "id") by dynamic programming. This mirrors the
+// dictionary-based name preprocessing of composite matchers: most
+// schemas use separators, so their tokens teach the vocabulary how to
+// split the schemas that do not.
+type Vocabulary struct {
+	freq map[string]int
+}
+
+// BuildVocabulary collects token frequencies from the given names.
+func BuildVocabulary(names []string) *Vocabulary {
+	v := &Vocabulary{freq: make(map[string]int)}
+	for _, n := range names {
+		for _, t := range Tokenize(n) {
+			v.freq[t]++
+		}
+	}
+	return v
+}
+
+// Freq returns how many name tokens equal w.
+func (v *Vocabulary) Freq(w string) int { return v.freq[w] }
+
+const (
+	segMinPiece   = 2 // shortest admissible word piece
+	segMinFreq    = 2 // a piece must occur this often to count as a word
+	segMaxPieces  = 4 // give up beyond this many pieces
+	segMinTokLen  = 5 // don't try to split very short tokens
+	segKeepIfFreq = 3 // a token this frequent is a word in its own right
+)
+
+// Segment splits tok into known vocabulary words if a confident
+// segmentation exists, and returns [tok] otherwise. A segmentation is
+// confident when every piece is a frequent vocabulary word and the whole
+// token is not itself frequent.
+func (v *Vocabulary) Segment(tok string) []string {
+	if len(tok) < segMinTokLen || v.freq[tok] >= segKeepIfFreq {
+		return []string{tok}
+	}
+	n := len(tok)
+	const inf = 1 << 30
+	dp := make([]int, n+1)
+	prev := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = inf
+		prev[i] = -1
+		for j := 0; j < i; j++ {
+			if i-j < segMinPiece || dp[j] == inf {
+				continue
+			}
+			piece := tok[j:i]
+			if piece != tok && v.freq[piece] >= segMinFreq && dp[j]+1 < dp[i] {
+				dp[i] = dp[j] + 1
+				prev[i] = j
+			}
+		}
+	}
+	if dp[n] == inf || dp[n] > segMaxPieces || dp[n] < 2 {
+		return []string{tok}
+	}
+	pieces := make([]string, 0, dp[n])
+	for i := n; i > 0; i = prev[i] {
+		pieces = append(pieces, tok[prev[i]:i])
+	}
+	// Reverse into reading order.
+	for l, r := 0, len(pieces)-1; l < r; l, r = l+1, r-1 {
+		pieces[l], pieces[r] = pieces[r], pieces[l]
+	}
+	return pieces
+}
+
+// Normalizer canonicalizes attribute names: tokenize, segment
+// separator-free tokens against the vocabulary, expand abbreviations,
+// and join with single spaces. Canon is memoized and safe for
+// concurrent use.
+type Normalizer struct {
+	vocab   *Vocabulary
+	abbrevs map[string]string
+
+	mu    sync.Mutex
+	cache map[string]string
+}
+
+// NewNormalizer builds a normalizer from the full set of attribute
+// names; pass nil abbrevs to disable expansion.
+func NewNormalizer(names []string, abbrevs map[string]string) *Normalizer {
+	return &Normalizer{
+		vocab:   BuildVocabulary(names),
+		abbrevs: abbrevs,
+		cache:   make(map[string]string),
+	}
+}
+
+// Tokens returns the canonical token list of a name.
+func (n *Normalizer) Tokens(name string) []string {
+	var out []string
+	for _, t := range Tokenize(name) {
+		for _, piece := range n.vocab.Segment(t) {
+			if n.abbrevs != nil {
+				if full, ok := n.abbrevs[piece]; ok {
+					out = append(out, Tokenize(full)...)
+					continue
+				}
+			}
+			out = append(out, piece)
+		}
+	}
+	return out
+}
+
+// Canon returns the canonical space-joined form of a name.
+func (n *Normalizer) Canon(name string) string {
+	n.mu.Lock()
+	if c, ok := n.cache[name]; ok {
+		n.mu.Unlock()
+		return c
+	}
+	n.mu.Unlock()
+	toks := n.Tokens(name)
+	c := ""
+	for i, t := range toks {
+		if i > 0 {
+			c += " "
+		}
+		c += t
+	}
+	n.mu.Lock()
+	n.cache[name] = c
+	n.mu.Unlock()
+	return c
+}

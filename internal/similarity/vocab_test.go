@@ -1,0 +1,140 @@
+package similarity
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// corpusNames is a small attribute-name corpus where separator-using
+// schemas teach the vocabulary how to split separator-free names.
+var corpusNames = []string{
+	"company_id", "company_name", "partner_id", "partner_key",
+	"order_date", "ship_date", "order_total", "customer_name",
+	"customer_id", "bank_key", "companyid", "partnerkey", "orderdate",
+}
+
+func TestBuildVocabularyFrequencies(t *testing.T) {
+	v := BuildVocabulary(corpusNames)
+	if got := v.Freq("company"); got != 2 {
+		t.Errorf("Freq(company) = %d, want 2", got)
+	}
+	if got := v.Freq("id"); got != 3 {
+		t.Errorf("Freq(id) = %d, want 3", got)
+	}
+	if got := v.Freq("zzz"); got != 0 {
+		t.Errorf("Freq(zzz) = %d, want 0", got)
+	}
+}
+
+func TestSegmentSplitsKnownCompounds(t *testing.T) {
+	v := BuildVocabulary(corpusNames)
+	cases := map[string][]string{
+		"companyid":    {"company", "id"},
+		"partnerkey":   {"partner", "key"},
+		"orderdate":    {"order", "date"},
+		"customername": {"customer", "name"},
+	}
+	for tok, want := range cases {
+		if got := v.Segment(tok); !reflect.DeepEqual(got, want) {
+			t.Errorf("Segment(%q) = %v, want %v", tok, got, want)
+		}
+	}
+}
+
+func TestSegmentKeepsUnknownAndShortTokens(t *testing.T) {
+	v := BuildVocabulary(corpusNames)
+	for _, tok := range []string{"zzzqqq", "id", "date", "x"} {
+		if got := v.Segment(tok); len(got) != 1 || got[0] != tok {
+			t.Errorf("Segment(%q) = %v, want identity", tok, got)
+		}
+	}
+}
+
+func TestSegmentKeepsFrequentWholeTokens(t *testing.T) {
+	// A token frequent in its own right is a word even if splittable.
+	names := append([]string{}, corpusNames...)
+	names = append(names, "companyid", "companyid") // freq 3 total
+	v := BuildVocabulary(names)
+	if got := v.Segment("companyid"); len(got) != 1 {
+		t.Errorf("frequent token split anyway: %v", got)
+	}
+}
+
+func TestSegmentRequiresConfidentPieces(t *testing.T) {
+	// Pieces that occur only once in the corpus are not trusted words.
+	v := BuildVocabulary([]string{"alpha_beta", "gammadelta"})
+	if got := v.Segment("gammadelta"); len(got) != 1 {
+		t.Errorf("Segment with rare pieces = %v, want identity", got)
+	}
+}
+
+func TestNormalizerCanon(t *testing.T) {
+	n := NewNormalizer(corpusNames, DefaultAbbreviations())
+	// Same canonical form across conventions, with segmentation and
+	// abbreviation expansion.
+	a := n.Canon("companyid")
+	b := n.Canon("company_id")
+	c := n.Canon("CompanyID")
+	if a != b || b != c {
+		t.Errorf("canonical forms differ: %q / %q / %q", a, b, c)
+	}
+	if !strings.Contains(a, "identifier") {
+		t.Errorf("abbreviation not expanded in %q", a)
+	}
+}
+
+func TestNormalizerCanonMemoized(t *testing.T) {
+	n := NewNormalizer(corpusNames, nil)
+	first := n.Canon("order_date")
+	second := n.Canon("order_date")
+	if first != second {
+		t.Error("memoized Canon returned different results")
+	}
+}
+
+func TestNormalizerTokensMultiWordExpansion(t *testing.T) {
+	n := NewNormalizer([]string{"po_number"}, map[string]string{"po": "purchase order"})
+	got := n.Tokens("po_number")
+	want := []string{"purchase", "order", "number"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizerConcurrentAccess(t *testing.T) {
+	n := NewNormalizer(corpusNames, DefaultAbbreviations())
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				name := corpusNames[rng.Intn(len(corpusNames))]
+				_ = n.Canon(name)
+			}
+			done <- true
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestQuickSegmentConcatenationInvariant(t *testing.T) {
+	// Segmenting any token must preserve its concatenation.
+	v := BuildVocabulary(corpusNames)
+	words := []string{"company", "id", "partner", "key", "order", "date", "zz"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tok := ""
+		for i := 0; i < 1+r.Intn(3); i++ {
+			tok += words[r.Intn(len(words))]
+		}
+		return strings.Join(v.Segment(tok), "") == tok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package schemanet is a library for pay-as-you-go reconciliation in
+// schema matching networks, reproducing Nguyen et al., ICDE 2014.
+//
+// A matching network is a set of schemas, an interaction graph saying
+// which pairs must be matched, and candidate attribute correspondences
+// produced by automatic matchers. Network-level integrity constraints
+// (one-to-one, cycle) expose the matchers' mistakes as violations; an
+// expert resolves them by approving/disapproving correspondences. This
+// package maintains a probabilistic matching network under that
+// feedback, orders the expert's work by information gain, and can
+// instantiate a trusted, constraint-consistent matching at any time.
+//
+// Typical use:
+//
+//	net := /* build or match a network */
+//	s, err := schemanet.NewSession(net, nil)
+//	for i := 0; i < budget; i++ {
+//		c, ok := s.Suggest()
+//		if !ok {
+//			break
+//		}
+//		s.Assert(c, expertSaysCorrect(c))
+//	}
+//	trusted := s.Instantiate() // consistent matching, any time
+package schemanet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"schemanet/internal/constraints"
+	"schemanet/internal/core"
+	"schemanet/internal/datagen"
+	"schemanet/internal/instantiate"
+	"schemanet/internal/matcher"
+	"schemanet/internal/sampling"
+	"schemanet/internal/schema"
+)
+
+// Re-exported model types; see the schema package for details.
+type (
+	// Network is an immutable schema matching network.
+	Network = schema.Network
+	// Builder assembles a Network.
+	Builder = schema.Builder
+	// Dataset bundles a network with its ground-truth matching.
+	Dataset = schema.Dataset
+	// Matching is a set of attribute correspondences.
+	Matching = schema.Matching
+	// Correspondence is a scored attribute pair.
+	Correspondence = schema.Correspondence
+	// AttrID identifies an attribute.
+	AttrID = schema.AttrID
+	// SchemaID identifies a schema.
+	SchemaID = schema.SchemaID
+	// Matcher produces candidate correspondences for a network.
+	Matcher = matcher.Matcher
+)
+
+// NewBuilder starts assembling a network.
+func NewBuilder() *Builder { return schema.NewBuilder() }
+
+// NewMatching returns an empty matching.
+func NewMatching() *Matching { return schema.NewMatching() }
+
+// EncodeDataset serializes a dataset to JSON.
+func EncodeDataset(w io.Writer, d *Dataset) error { return schema.EncodeDataset(w, d) }
+
+// DecodeDataset parses a dataset from JSON.
+func DecodeDataset(r io.Reader) (*Dataset, error) { return schema.DecodeDataset(r) }
+
+// COMALike returns the built-in parallel composite matcher.
+func COMALike() Matcher { return matcher.NewCOMALike() }
+
+// AMCLike returns the built-in process-tree matcher.
+func AMCLike() Matcher { return matcher.NewAMCLike() }
+
+// Match runs the matcher over every interaction edge of net and returns
+// the network carrying the produced candidate correspondences.
+func Match(net *Network, m Matcher) (*Network, error) {
+	return net.WithCandidates(m.Match(net))
+}
+
+// GenerateDataset builds a synthetic dataset from a named profile
+// ("bp", "po", "uaf", "webform"), optionally scaled (scale 1 = paper's
+// Table II shape).
+func GenerateDataset(profile string, scale float64, seed int64) (*Dataset, error) {
+	var p datagen.Profile
+	switch profile {
+	case "bp", "BP":
+		p = datagen.BP()
+	case "po", "PO":
+		p = datagen.PO()
+	case "uaf", "UAF":
+		p = datagen.UAF()
+	case "webform", "WebForm":
+		p = datagen.WebForm()
+	default:
+		return nil, fmt.Errorf("schemanet: unknown profile %q", profile)
+	}
+	if scale > 0 && scale < 1 {
+		p = datagen.Scale(p, scale)
+	}
+	return datagen.Generate(p, rand.New(rand.NewSource(seed)))
+}
+
+// Options configures a reconciliation session. The zero value (or nil)
+// selects the paper's defaults: one-to-one + cycle constraints,
+// sampling-based probabilities, information-gain ordering.
+type Options struct {
+	// MaxCycleLen bounds schema-cycle enumeration for the cycle
+	// constraint (default 3; <3 disables the constraint's effect).
+	MaxCycleLen int
+	// DisableCycle drops the cycle constraint entirely.
+	DisableCycle bool
+	// DisableOneToOne drops the one-to-one constraint.
+	DisableOneToOne bool
+	// Samples per (re)sampling round (default 500).
+	Samples int
+	// Exact switches to exhaustive instance enumeration — exact
+	// probabilities per Equation 1, feasible only for small networks.
+	Exact bool
+	// InstantiateIterations bounds the local search of Instantiate
+	// (default 200).
+	InstantiateIterations int
+	// Strategy selects the suggestion ordering: "info-gain" (default,
+	// the paper's heuristic), "random" (no-tool baseline),
+	// "least-certain", or "by-confidence".
+	Strategy string
+	// ExclusivePairs declares attribute pairs that must never be matched
+	// together (a custom MutualExclusion constraint on top of the
+	// paper's Γ).
+	ExclusivePairs [][2]AttrID
+	// Seed makes the session deterministic.
+	Seed int64
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.MaxCycleLen == 0 {
+		out.MaxCycleLen = constraints.DefaultMaxCycleLen
+	}
+	if out.InstantiateIterations == 0 {
+		out.InstantiateIterations = instantiate.DefaultConfig().Iterations
+	}
+	return out
+}
+
+// Session is a pay-as-you-go reconciliation session over one network:
+// it holds the probabilistic matching network, suggests the most
+// informative correspondences for review, integrates assertions, and
+// instantiates a trusted matching on demand.
+type Session struct {
+	engine   *constraints.Engine
+	pmn      *core.PMN
+	strategy core.Strategy
+	instCfg  instantiate.Config
+	rng      *rand.Rand
+}
+
+// NewSession builds a session for the network's candidate
+// correspondences and computes the initial probabilities.
+func NewSession(net *Network, opts *Options) (*Session, error) {
+	if net.NumCandidates() == 0 {
+		return nil, fmt.Errorf("schemanet: network has no candidate correspondences; run Match first")
+	}
+	o := opts.withDefaults()
+	var cons []constraints.Constraint
+	if !o.DisableOneToOne {
+		cons = append(cons, constraints.NewOneToOne(net))
+	}
+	if !o.DisableCycle {
+		cons = append(cons, constraints.NewCycle(net, o.MaxCycleLen))
+	}
+	if len(o.ExclusivePairs) > 0 {
+		cons = append(cons, constraints.NewMutualExclusion(net, o.ExclusivePairs))
+	}
+	if len(cons) == 0 {
+		return nil, fmt.Errorf("schemanet: at least one constraint is required")
+	}
+	engine := constraints.NewEngine(net, cons...)
+
+	var strat core.Strategy
+	switch o.Strategy {
+	case "", "info-gain":
+		strat = core.InfoGainStrategy{}
+	case "random":
+		strat = core.RandomStrategy{}
+	case "least-certain":
+		strat = core.LeastCertainStrategy{}
+	case "by-confidence":
+		strat = core.ByConfidenceStrategy{}
+	default:
+		return nil, fmt.Errorf("schemanet: unknown strategy %q", o.Strategy)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Sampler = sampling.DefaultConfig()
+	if o.Samples > 0 {
+		cfg.Samples = o.Samples
+	}
+	cfg.Exact = o.Exact
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	s := &Session{
+		engine:   engine,
+		pmn:      core.New(engine, cfg, rng),
+		strategy: strat,
+		instCfg:  instantiate.DefaultConfig(),
+		rng:      rng,
+	}
+	s.instCfg.Iterations = o.InstantiateIterations
+	return s, nil
+}
+
+// Network returns the session's network.
+func (s *Session) Network() *Network { return s.pmn.Network() }
+
+// Suggest returns the candidate index whose assertion is expected to
+// reduce network uncertainty the most (information gain, §IV-D). ok is
+// false when every candidate has been asserted.
+func (s *Session) Suggest() (c int, ok bool) {
+	return s.strategy.Next(s.pmn, s.rng)
+}
+
+// Assert integrates an expert statement about candidate c.
+func (s *Session) Assert(c int, correct bool) error {
+	return s.pmn.Assert(c, correct)
+}
+
+// Probability returns the current probability of candidate c.
+func (s *Session) Probability(c int) float64 { return s.pmn.Probability(c) }
+
+// Uncertainty returns the network uncertainty H(C, P) (Equation 3).
+func (s *Session) Uncertainty() float64 { return s.pmn.Entropy() }
+
+// Effort returns the fraction of candidates asserted so far.
+func (s *Session) Effort() float64 { return s.pmn.Feedback().Effort() }
+
+// Violations returns the number of distinct constraint violations among
+// the raw candidate correspondences.
+func (s *Session) Violations() int {
+	return s.engine.ViolationCount(s.engine.FullInstance())
+}
+
+// Describe renders candidate c with its schemas, attributes, and
+// matcher confidence.
+func (s *Session) Describe(c int) string {
+	return s.Network().DescribeCandidate(c)
+}
+
+// Instantiate derives a trusted matching from the current state: a
+// maximal constraint-consistent set of correspondences with near-minimal
+// repair distance and near-maximal likelihood (§V, Algorithm 2). It can
+// be called at any time, with any amount of feedback.
+func (s *Session) Instantiate() *Matching {
+	inst := instantiate.Heuristic(
+		s.engine, s.pmn.Store(), s.pmn.Probabilities(),
+		s.pmn.Feedback().Approved(), s.pmn.Feedback().Disapproved(),
+		s.instCfg, s.rng)
+	return schema.MatchingFromCandidates(s.Network(), inst.Members())
+}

@@ -1,0 +1,257 @@
+package schemanet_test
+
+import (
+	"strings"
+	"testing"
+
+	"schemanet"
+)
+
+// videoNet builds the §II-A example through the public API.
+func videoNet(t *testing.T) (*schemanet.Network, *schemanet.Matching) {
+	t.Helper()
+	b := schemanet.NewBuilder()
+	b.AddSchema("EoverI", "productionDate")
+	b.AddSchema("BBC", "date")
+	b.AddSchema("DVDizzy", "releaseDate", "screenDate")
+	b.ConnectAll()
+	b.AddCorrespondence(0, 1, 0.85)
+	b.AddCorrespondence(1, 2, 0.80)
+	b.AddCorrespondence(0, 2, 0.75)
+	b.AddCorrespondence(1, 3, 0.60)
+	b.AddCorrespondence(0, 3, 0.55)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := schemanet.NewMatching()
+	truth.Add(0, 1)
+	truth.Add(1, 2)
+	truth.Add(0, 2)
+	return net, truth
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	net, truth := videoNet(t)
+	s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Violations() != 4 {
+		t.Fatalf("Violations = %d, want 4", s.Violations())
+	}
+	if s.Uncertainty() == 0 {
+		t.Fatal("fresh network should be uncertain")
+	}
+	steps := 0
+	for s.Uncertainty() > 0 {
+		c, ok := s.Suggest()
+		if !ok {
+			break
+		}
+		if err := s.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps > net.NumCandidates() {
+			t.Fatal("reconciliation did not converge")
+		}
+	}
+	trusted := s.Instantiate()
+	if trusted.Size() != 3 {
+		t.Fatalf("trusted matching size = %d, want 3", trusted.Size())
+	}
+	if trusted.IntersectionSize(truth) != 3 {
+		t.Fatalf("trusted matching differs from truth: %v", trusted.Pairs())
+	}
+	if s.Effort() <= 0 || s.Effort() > 1 {
+		t.Fatalf("Effort = %v out of range", s.Effort())
+	}
+}
+
+func TestSessionInstantiateBeforeAnyFeedback(t *testing.T) {
+	net, _ := videoNet(t)
+	s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted := s.Instantiate()
+	if trusted.Size() == 0 {
+		t.Fatal("anytime instantiation returned an empty matching")
+	}
+}
+
+func TestSessionRequiresCandidates(t *testing.T) {
+	b := schemanet.NewBuilder()
+	b.AddSchema("a", "x")
+	b.AddSchema("b", "y")
+	b.ConnectAll()
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schemanet.NewSession(net, nil); err == nil {
+		t.Fatal("want error for candidate-less network")
+	}
+}
+
+func TestSessionRequiresConstraints(t *testing.T) {
+	net, _ := videoNet(t)
+	_, err := schemanet.NewSession(net, &schemanet.Options{
+		DisableCycle:    true,
+		DisableOneToOne: true,
+	})
+	if err == nil {
+		t.Fatal("want error when all constraints disabled")
+	}
+}
+
+func TestSessionDescribe(t *testing.T) {
+	net, _ := videoNet(t)
+	s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Describe(0); !strings.Contains(d, "↔") {
+		t.Fatalf("Describe = %q", d)
+	}
+}
+
+func TestSessionDoubleAssertFails(t *testing.T) {
+	net, _ := videoNet(t)
+	s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assert(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assert(0, false); err == nil {
+		t.Fatal("double assert must fail")
+	}
+}
+
+func TestGenerateDatasetProfiles(t *testing.T) {
+	for _, name := range []string{"bp", "po", "uaf", "webform"} {
+		d, err := schemanet.GenerateDataset(name, 0.15, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Network.NumSchemas() < 2 {
+			t.Fatalf("%s: too few schemas", name)
+		}
+		if d.GroundTruth == nil || d.GroundTruth.Size() == 0 {
+			t.Fatalf("%s: no ground truth", name)
+		}
+	}
+	if _, err := schemanet.GenerateDataset("nope", 1, 1); err == nil {
+		t.Fatal("want error for unknown profile")
+	}
+}
+
+func TestMatchThroughFacade(t *testing.T) {
+	d, err := schemanet.GenerateDataset("bp", 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []schemanet.Matcher{schemanet.COMALike(), schemanet.AMCLike()} {
+		net, err := schemanet.Match(d.Network, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if net.NumCandidates() == 0 {
+			t.Fatalf("%s produced no candidates", m.Name())
+		}
+	}
+}
+
+func TestSessionStrategyOption(t *testing.T) {
+	net, truth := videoNet(t)
+	for _, name := range []string{"", "info-gain", "random", "least-certain", "by-confidence"} {
+		s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true, Strategy: name, Seed: 4})
+		if err != nil {
+			t.Fatalf("strategy %q: %v", name, err)
+		}
+		c, ok := s.Suggest()
+		if !ok {
+			t.Fatalf("strategy %q suggested nothing", name)
+		}
+		if err := s.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatalf("strategy %q: %v", name, err)
+		}
+	}
+	if _, err := schemanet.NewSession(net, &schemanet.Options{Strategy: "nope"}); err == nil {
+		t.Fatal("want error for unknown strategy")
+	}
+}
+
+func TestSessionExclusivePairs(t *testing.T) {
+	net, _ := videoNet(t)
+	// Declaring releaseDate (4... attr ids: 0 productionDate, 1 date,
+	// 2 releaseDate, 3 screenDate) exclusive with screenDate forbids
+	// instances covering both.
+	s, err := schemanet.NewSession(net, &schemanet.Options{
+		Exact:          true,
+		Seed:           5,
+		ExclusivePairs: [][2]schemanet.AttrID{{2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extra constraint adds violations beyond the base four.
+	if s.Violations() <= 4 {
+		t.Fatalf("Violations = %d, want > 4 with the exclusion", s.Violations())
+	}
+	trusted := s.Instantiate()
+	coversRelease, coversScreen := false, false
+	for _, p := range trusted.Pairs() {
+		if p[0] == 2 || p[1] == 2 {
+			coversRelease = true
+		}
+		if p[0] == 3 || p[1] == 3 {
+			coversScreen = true
+		}
+	}
+	if coversRelease && coversScreen {
+		t.Fatalf("instantiation covers both exclusive attributes: %v", trusted.Pairs())
+	}
+}
+
+func TestSessionOnMatchedNetwork(t *testing.T) {
+	d, err := schemanet.GenerateDataset("bp", 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := schemanet.Match(d.Network, schemanet.COMALike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schemanet.NewSession(net, &schemanet.Options{Seed: 9, Samples: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := s.Uncertainty()
+	// A 15% budget must reduce uncertainty and keep instantiation valid.
+	budget := net.NumCandidates() * 15 / 100
+	for i := 0; i < budget; i++ {
+		c, ok := s.Suggest()
+		if !ok {
+			break
+		}
+		if err := s.Assert(c, d.GroundTruth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h0 > 0 && s.Uncertainty() >= h0 {
+		t.Fatalf("uncertainty did not drop: %v -> %v", h0, s.Uncertainty())
+	}
+	trusted := s.Instantiate()
+	if trusted.Size() == 0 {
+		t.Fatal("empty instantiation")
+	}
+	inter := trusted.IntersectionSize(d.GroundTruth)
+	prec := float64(inter) / float64(trusted.Size())
+	if prec < 0.5 {
+		t.Fatalf("instantiated precision %.3f suspiciously low", prec)
+	}
+}

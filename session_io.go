@@ -1,0 +1,85 @@
+package schemanet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// sessionState is the serialized form of a session: the assertion
+// history in order. Probabilities are not persisted — they are
+// recomputed deterministically from the network, the options, and the
+// replayed feedback.
+type sessionState struct {
+	Version    int              `json:"version"`
+	Candidates int              `json:"candidates"`
+	History    []savedAssertion `json:"history"`
+}
+
+// savedAssertion references a correspondence by its attribute names so
+// saved sessions survive candidate reordering across versions.
+type savedAssertion struct {
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Approved bool   `json:"approved"`
+}
+
+// Save writes the session's feedback so reconciliation can resume later
+// (see LoadSession). The pay-as-you-go workflow spans days in practice;
+// the expert's assertions are the only state worth keeping.
+func (s *Session) Save(w io.Writer) error {
+	net := s.Network()
+	st := sessionState{Version: 1, Candidates: net.NumCandidates()}
+	for _, a := range s.pmn.Feedback().History() {
+		c := net.Candidate(a.Cand)
+		st.History = append(st.History, savedAssertion{
+			From:     net.FullName(c.A),
+			To:       net.FullName(c.B),
+			Approved: a.Approved,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// LoadSession builds a fresh session for net and replays the feedback
+// previously written by Save. The network must contain every asserted
+// correspondence (same or compatible candidate set).
+func LoadSession(net *Network, opts *Options, r io.Reader) (*Session, error) {
+	var st sessionState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("schemanet: decoding session: %w", err)
+	}
+	if st.Version != 1 {
+		return nil, fmt.Errorf("schemanet: unsupported session version %d", st.Version)
+	}
+	s, err := NewSession(net, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve attribute references once.
+	attrByName := make(map[string]AttrID, net.NumAttributes())
+	for _, sch := range net.Schemas() {
+		for _, a := range sch.Attrs {
+			attrByName[net.FullName(a)] = a
+		}
+	}
+	for i, sa := range st.History {
+		a, okA := attrByName[sa.From]
+		b, okB := attrByName[sa.To]
+		if !okA || !okB {
+			return nil, fmt.Errorf("schemanet: session entry %d references unknown attribute %q/%q",
+				i, sa.From, sa.To)
+		}
+		c := net.CandidateIndex(a, b)
+		if c < 0 {
+			return nil, fmt.Errorf("schemanet: session entry %d references non-candidate %s ↔ %s",
+				i, sa.From, sa.To)
+		}
+		if err := s.Assert(c, sa.Approved); err != nil {
+			return nil, fmt.Errorf("schemanet: replaying entry %d: %w", i, err)
+		}
+	}
+	return s, nil
+}

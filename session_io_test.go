@@ -1,0 +1,89 @@
+package schemanet_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"schemanet"
+)
+
+func TestSessionSaveLoadRoundTrip(t *testing.T) {
+	net, truth := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 21}
+	s, err := schemanet.NewSession(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make two assertions, save.
+	for i := 0; i < 2; i++ {
+		c, ok := s.Suggest()
+		if !ok {
+			t.Fatal("nothing to suggest")
+		}
+		if err := s.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := schemanet.LoadSession(net, opts, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Effort(), s.Effort(); got != want {
+		t.Fatalf("restored effort %v, want %v", got, want)
+	}
+	if got, want := restored.Uncertainty(), s.Uncertainty(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("restored uncertainty %v, want %v", got, want)
+	}
+	for c := 0; c < net.NumCandidates(); c++ {
+		if math.Abs(restored.Probability(c)-s.Probability(c)) > 1e-9 {
+			t.Fatalf("restored p(%d) = %v, want %v", c, restored.Probability(c), s.Probability(c))
+		}
+	}
+	// The restored session keeps working.
+	if c, ok := restored.Suggest(); ok {
+		if err := restored.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSessionSaveEmpty(t *testing.T) {
+	net, _ := videoNet(t)
+	s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := schemanet.LoadSession(net, &schemanet.Options{Exact: true}, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Effort() != 0 {
+		t.Fatal("fresh session should have zero effort")
+	}
+}
+
+func TestLoadSessionErrors(t *testing.T) {
+	net, _ := videoNet(t)
+	cases := map[string]string{
+		"bad json":     `{`,
+		"bad version":  `{"version": 99}`,
+		"unknown attr": `{"version":1,"history":[{"from":"X.y","to":"Z.w","approved":true}]}`,
+		"non-candidate": `{"version":1,"history":[
+			{"from":"EoverI.productionDate","to":"BBC.name","approved":true}]}`,
+	}
+	for name, js := range cases {
+		if _, err := schemanet.LoadSession(net, &schemanet.Options{Exact: true}, strings.NewReader(js)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
