@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all vet build test bench bench-smoke race
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full micro- and experiment-benchmark run (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One-iteration smoke of the hot-path benchmarks (a superset of the
+# CI bench step, which runs BenchmarkInformationGain only).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkInformationGain|BenchmarkSamplePerEmission|BenchmarkSessionAssert' -benchmem -benchtime 1x .

@@ -9,6 +9,7 @@ package schemanet_test
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"schemanet/internal/instantiate"
 	"schemanet/internal/matcher"
 	"schemanet/internal/sampling"
+	"schemanet/internal/schema"
 )
 
 // runExperiment is the common driver for the per-table/figure benches.
@@ -54,9 +56,9 @@ func BenchmarkRobust(b *testing.B)   { runExperiment(b, "robust") }
 
 // --- Micro-benchmarks -------------------------------------------------
 
-// benchNetwork builds a synthetic network with the given candidate
+// benchDataset builds a synthetic dataset with the given candidate
 // count for micro-benchmarks.
-func benchNetwork(b *testing.B, size int) (*constraints.Engine, *rand.Rand) {
+func benchDataset(b *testing.B, size int) (*schema.Dataset, *rand.Rand) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(42))
 	attrs := size / 16
@@ -73,6 +75,13 @@ func benchNetwork(b *testing.B, size int) (*constraints.Engine, *rand.Rand) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return d, rng
+}
+
+// benchNetwork builds a synthetic network with the given candidate
+// count for micro-benchmarks.
+func benchNetwork(b *testing.B, size int) (*constraints.Engine, *rand.Rand) {
+	d, rng := benchDataset(b, size)
 	return constraints.Default(d.Network), rng
 }
 
@@ -90,16 +99,7 @@ func BenchmarkSamplePerEmission(b *testing.B) {
 	}
 }
 
-func benchName(size int) string {
-	switch size {
-	case 128:
-		return "C=128"
-	case 512:
-		return "C=512"
-	default:
-		return "C=2048"
-	}
-}
+func benchName(size int) string { return fmt.Sprintf("C=%d", size) }
 
 // BenchmarkRepair measures Algorithm 4 on a maximal instance.
 func BenchmarkRepair(b *testing.B) {
@@ -127,13 +127,17 @@ func BenchmarkMaximize(b *testing.B) {
 }
 
 // BenchmarkInformationGain measures one full IG ranking pass (the
-// per-step cost of the Heuristic strategy).
+// per-step cost of the Heuristic strategy) at several network sizes.
 func BenchmarkInformationGain(b *testing.B) {
-	e, rng := benchNetwork(b, 256)
-	pmn := core.New(e, core.DefaultConfig(), rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = pmn.InformationGains()
+	for _, size := range []int{128, 256, 512, 2048} {
+		b.Run(benchName(size), func(b *testing.B) {
+			e, rng := benchNetwork(b, size)
+			pmn := core.New(e, core.DefaultConfig(), rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = pmn.InformationGains()
+			}
+		})
 	}
 }
 
@@ -164,19 +168,11 @@ func BenchmarkMatcher(b *testing.B) {
 	}
 }
 
-// BenchmarkSessionAssert measures one pay-as-you-go suggest+assert step
-// through the public API, including view maintenance and resampling.
-// The session is reused across iterations and recreated (off the clock)
-// only when its candidates are exhausted.
-func BenchmarkSessionAssert(b *testing.B) {
-	d, err := schemanet.GenerateDataset("bp", 0.4, 7)
-	if err != nil {
-		b.Fatal(err)
-	}
-	net, err := schemanet.Match(d.Network, schemanet.COMALike())
-	if err != nil {
-		b.Fatal(err)
-	}
+// benchSessionAssert drives suggest+assert steps over the given dataset,
+// reusing the session across iterations and recreating it (off the
+// clock) only when its candidates are exhausted.
+func benchSessionAssert(b *testing.B, d *schemanet.Dataset, net *schemanet.Network) {
+	b.Helper()
 	newSession := func(seed int64) *schemanet.Session {
 		s, err := schemanet.NewSession(net, &schemanet.Options{Seed: seed})
 		if err != nil {
@@ -201,4 +197,30 @@ func BenchmarkSessionAssert(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSessionAssert measures one pay-as-you-go suggest+assert step
+// through the public API, including view maintenance and resampling, at
+// several network sizes.
+func BenchmarkSessionAssert(b *testing.B) {
+	for _, size := range []int{128, 512, 2048} {
+		b.Run(benchName(size), func(b *testing.B) {
+			d, _ := benchDataset(b, size)
+			benchSessionAssert(b, d, d.Network)
+		})
+	}
+}
+
+// BenchmarkSessionAssertBP is the same step cost on a matcher-produced
+// (rather than synthetic) candidate set.
+func BenchmarkSessionAssertBP(b *testing.B) {
+	d, err := schemanet.GenerateDataset("bp", 0.4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := schemanet.Match(d.Network, schemanet.COMALike())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSessionAssert(b, d, net)
 }

@@ -1,0 +1,3 @@
+module schemanet
+
+go 1.24

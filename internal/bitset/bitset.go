@@ -170,6 +170,76 @@ func (s *Set) ContainsAll(o *Set) bool {
 	return true
 }
 
+// AndCount returns |s ∩ o| without materializing the intersection.
+func (s *Set) AndCount(o *Set) int {
+	s.mustMatch(o)
+	return AndCountWords(s.words, o.words)
+}
+
+// AndNotCount returns |s \ o| without materializing the difference.
+func (s *Set) AndNotCount(o *Set) int {
+	s.mustMatch(o)
+	return AndNotCountWords(s.words, o.words)
+}
+
+// Words exposes the backing word slice (bit i of word w is element
+// w*64+i). Callers must treat it as read-only; it remains valid only
+// until the next mutation of s. It lets word-wise kernels (the
+// *CountWords functions) run against a Set without copying.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Fingerprint returns a 64-bit hash of the set contents (an FNV-1a fold
+// over the words). Two equal sets of equal capacity always share a
+// fingerprint; callers deduplicating by fingerprint must still compare
+// with Equal on collision.
+func (s *Set) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range s.words {
+		h ^= w
+		h *= prime64
+	}
+	return h
+}
+
+// PopcountWords returns the total population count of a word slice.
+func PopcountWords(ws []uint64) int {
+	c := 0
+	for _, w := range ws {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCountWords returns popcount(a AND b) over the common prefix of the
+// two word slices (missing words count as zero).
+func AndCountWords(a, b []uint64) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+	}
+	return c
+}
+
+// AndNotCountWords returns popcount(a AND NOT b); words of a beyond
+// len(b) count in full.
+func AndNotCountWords(a, b []uint64) int {
+	c := 0
+	for i, w := range a {
+		if i < len(b) {
+			w &^= b[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // SymmetricDiffCount returns |s △ o|, the size of the symmetric
 // difference. This is the repair-distance metric Δ of the paper when one
 // operand is a matching instance and the other the candidate set.

@@ -297,3 +297,67 @@ func TestQuickUnionIntersectionDeMorgan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuickAndCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(256)
+		a, am := randomSet(r, n)
+		b, bm := randomSet(r, n)
+		and, andNot := 0, 0
+		for v := range am {
+			if bm[v] {
+				and++
+			} else {
+				andNot++
+			}
+		}
+		if a.AndCount(b) != and || b.AndCount(a) != and {
+			return false
+		}
+		if a.AndNotCount(b) != andNot {
+			return false
+		}
+		// Word-slice forms agree with the Set forms.
+		return AndCountWords(a.Words(), b.Words()) == and &&
+			AndNotCountWords(a.Words(), b.Words()) == andNot &&
+			PopcountWords(a.Words()) == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndCountWordsLengthMismatch(t *testing.T) {
+	a := []uint64{^uint64(0), ^uint64(0)}
+	b := []uint64{0xF0}
+	// Missing words of the shorter operand count as zero for AND...
+	if got := AndCountWords(a, b); got != 4 {
+		t.Errorf("AndCountWords = %d, want 4", got)
+	}
+	if got := AndCountWords(b, a); got != 4 {
+		t.Errorf("AndCountWords reversed = %d, want 4", got)
+	}
+	// ...and words of a beyond len(b) survive AND NOT in full.
+	if got := AndNotCountWords(a, b); got != 60+64 {
+		t.Errorf("AndNotCountWords = %d, want 124", got)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seen := make(map[uint64]*Set)
+	for i := 0; i < 500; i++ {
+		s, _ := randomSet(rng, 200)
+		fp := s.Fingerprint()
+		if fp != s.Clone().Fingerprint() {
+			t.Fatal("fingerprint not deterministic under Clone")
+		}
+		if prev, ok := seen[fp]; ok && !prev.Equal(s) {
+			// Collisions are legal but should be vanishingly rare on
+			// random 200-bit sets; treat one as a regression.
+			t.Fatalf("fingerprint collision between %v and %v", prev, s)
+		}
+		seen[fp] = s
+	}
+}

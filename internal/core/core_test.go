@@ -507,3 +507,49 @@ func TestEntropyMatchesStoreProbabilities(t *testing.T) {
 		t.Fatalf("Entropy() = %v, manual sum = %v", p.Entropy(), manual)
 	}
 }
+
+// TestInformationGainsWorkersAgree: the sharded ranking pass must be
+// bit-identical to the sequential one regardless of worker count (on a
+// network large enough that the chunk clamp cannot reduce the pass to
+// one worker). Single-CPU machines would otherwise never execute the
+// goroutine branch under test.
+func TestInformationGainsWorkersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d, err := datagen.SyntheticNetwork(datagen.Profile{
+		Name: "workers", Domain: datagen.BusinessPartner(),
+		NumSchemas: 4, MinAttrs: 10, MaxAttrs: 14, PoolFactor: 1.3,
+		SynonymProb: 0.2, AbbrevProb: 0.15, EdgeProb: 1,
+	}, datagen.SyntheticOpts{
+		TargetCount: 96, Precision: 0.6, ConflictBias: 0.7, StrictCount: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := constraints.Default(d.Network)
+
+	gains := make(map[int][]float64)
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		p := New(e, cfg, rand.New(rand.NewSource(23)))
+		gains[workers] = p.InformationGains()
+	}
+	if len(gains[1]) != len(gains[4]) {
+		t.Fatalf("gain vector lengths differ: %d vs %d", len(gains[1]), len(gains[4]))
+	}
+	nonzero := 0
+	for c := range gains[1] {
+		if gains[1][c] != gains[4][c] {
+			t.Errorf("cand %d: workers=1 gain %v, workers=4 gain %v", c, gains[1][c], gains[4][c])
+		}
+		if gains[1][c] > 0 {
+			nonzero++
+		}
+	}
+	// Guard the guard: the network must be big and uncertain enough that
+	// the chunk clamp leaves more than one worker active (igChunk-sized
+	// chunks) and the comparison is not vacuous.
+	if nonzero < 2*igChunk {
+		t.Fatalf("only %d candidates with positive gain; network too certain for a meaningful multi-worker test", nonzero)
+	}
+}

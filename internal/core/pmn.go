@@ -20,6 +20,10 @@ type Config struct {
 	Exact bool
 	// ExactLimit caps enumeration when Exact is set (0 = no cap).
 	ExactLimit int
+	// Workers bounds the goroutines of the information-gain ranking
+	// pass (InformationGains). 0 means runtime.GOMAXPROCS(0); 1 forces
+	// a sequential pass.
+	Workers int
 }
 
 // DefaultConfig returns the sampling-based configuration used by the

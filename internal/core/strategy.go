@@ -79,10 +79,14 @@ func (InfoGainStrategy) Next(p *PMN, rng *rand.Rand) (int, bool) {
 	if len(u) == 0 {
 		return fallback(p, rng)
 	}
+	// One batched (parallel, columnar) ranking pass instead of a
+	// per-candidate InformationGain call: this is the per-step cost the
+	// expert waits on.
+	gains := p.InformationGains()
 	best := -1.0
 	var ties []int
 	for _, c := range u {
-		ig := p.InformationGain(c)
+		ig := gains[c]
 		switch {
 		case ig > best:
 			best = ig

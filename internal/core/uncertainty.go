@@ -1,6 +1,11 @@
 package core
 
-import "math"
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // BinaryEntropy returns −p·log₂p − (1−p)·log₂(1−p), the entropy of one
 // correspondence-selection variable; 0 at p ∈ {0, 1}.
@@ -23,10 +28,80 @@ func EntropyOf(probs []float64) float64 {
 	return h
 }
 
-// ConditionalEntropy returns H(C | c, P) of Equation 4: the expected
-// network uncertainty after the expert asserts c, estimated by
-// partitioning the current sample set on membership of c (the exact
-// update view maintenance would perform for either answer).
+// igScratch holds the per-worker buffers of the ranking pass: the
+// batched co-occurrence counts of one candidate, a memo table of
+// partition entropies, and the hoisted asserted-candidate mask.
+type igScratch struct {
+	with     []int
+	without  []int
+	tab      []float64 // tab[k] memoizes BinaryEntropy(k/total); -1 = unset
+	asserted []bool    // asserted[d] = feedback.IsAsserted(d), per-pass constant
+}
+
+func (p *PMN) newScratch(asserted []bool) *igScratch {
+	n := p.store.NumCandidates()
+	return &igScratch{
+		with:     make([]int, n),
+		without:  make([]int, n),
+		asserted: asserted,
+	}
+}
+
+// assertedMask hoists feedback.IsAsserted out of the ranking inner loop
+// (two bounds-checked bitset probes per candidate pair otherwise).
+func (p *PMN) assertedMask() []bool {
+	out := make([]bool, p.store.NumCandidates())
+	for _, a := range p.feedback.History() {
+		out[a.Cand] = true
+	}
+	return out
+}
+
+// condEntropy computes H(C | c, P) of Equation 4 — the expected network
+// uncertainty after the expert asserts c — from one batched columnar
+// count pass (Store.CoCounts): the sample set is partitioned on
+// membership of c, exactly the update view maintenance would perform for
+// either answer.
+func (p *PMN) condEntropy(c int, s *igScratch) float64 {
+	pc := p.probs[c]
+	nWith, nWithout := p.store.CoCountsInto(c, s.with, s.without)
+	hPlus := p.partitionEntropyOf(s.with, nWith, s)
+	hMinus := p.partitionEntropyOf(s.without, nWithout, s)
+	return pc*hPlus + (1-pc)*hMinus
+}
+
+// partitionEntropyOf computes H(C, P±) over one sub-population of
+// samples from its per-candidate membership counts. Within one partition
+// the per-candidate entropy depends only on the count k ∈ [0, total], so
+// values are memoized in the scratch table: co-occurrence counts repeat
+// heavily and log2 dominates the pass otherwise.
+func (p *PMN) partitionEntropyOf(counts []int, total int, s *igScratch) float64 {
+	if total == 0 {
+		return 0
+	}
+	if cap(s.tab) < total+1 {
+		s.tab = make([]float64, total+1)
+	}
+	tab := s.tab[:total+1]
+	for i := range tab {
+		tab[i] = -1
+	}
+	h := 0.0
+	for d, cnt := range counts {
+		if s.asserted[d] {
+			continue // asserted candidates stay certain in P±
+		}
+		e := tab[cnt]
+		if e < 0 {
+			e = BinaryEntropy(float64(cnt) / float64(total))
+			tab[cnt] = e
+		}
+		h += e
+	}
+	return h
+}
+
+// ConditionalEntropy returns H(C | c, P) of Equation 4.
 func (p *PMN) ConditionalEntropy(c int) float64 {
 	pc := p.probs[c]
 	if pc <= 0 || pc >= 1 {
@@ -34,26 +109,7 @@ func (p *PMN) ConditionalEntropy(c int) float64 {
 		// changes nothing.
 		return p.Entropy()
 	}
-	hPlus := p.partitionEntropy(c, true)
-	hMinus := p.partitionEntropy(c, false)
-	return pc*hPlus + (1-pc)*hMinus
-}
-
-// partitionEntropy computes H(C, P±) over the sub-population of samples
-// that contain (or exclude) c.
-func (p *PMN) partitionEntropy(c int, withC bool) float64 {
-	counts, total := p.store.CondCounts(c, withC)
-	if total == 0 {
-		return 0
-	}
-	h := 0.0
-	for d, cnt := range counts {
-		if p.feedback.IsAsserted(d) {
-			continue // asserted candidates stay certain in P±
-		}
-		h += BinaryEntropy(float64(cnt) / float64(total))
-	}
-	return h
+	return p.condEntropy(c, p.newScratch(p.assertedMask()))
 }
 
 // InformationGain returns IG(c) of Equation 5: the expected uncertainty
@@ -72,18 +128,73 @@ func (p *PMN) InformationGain(c int) float64 {
 	return ig
 }
 
-// InformationGains returns IG(c) for every candidate.
+// igChunk is how many uncertain candidates a ranking worker claims per
+// atomic fetch-add; the per-candidate cost is uniform (one columnar
+// count pass), so small chunks balance well without contention.
+const igChunk = 8
+
+// InformationGains returns IG(c) for every candidate. The per-candidate
+// computations read only the store's columnar matrix and the probability
+// vector, so the ranking pass shards the uncertain candidates across
+// Config.Workers goroutines (default GOMAXPROCS).
 func (p *PMN) InformationGains() []float64 {
 	out := make([]float64, len(p.probs))
 	h := p.Entropy()
+
+	uncertain := make([]int, 0, len(p.probs))
 	for c, pc := range p.probs {
-		if pc <= 0 || pc >= 1 {
-			continue
+		if pc > 0 && pc < 1 {
+			uncertain = append(uncertain, c)
 		}
-		ig := h - p.ConditionalEntropy(c)
-		if ig > 0 {
+	}
+	if len(uncertain) == 0 {
+		return out
+	}
+
+	workers := p.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(uncertain) + igChunk - 1) / igChunk; workers > max {
+		workers = max
+	}
+
+	asserted := p.assertedMask()
+	rank := func(s *igScratch, c int) {
+		if ig := h - p.condEntropy(c, s); ig > 0 {
 			out[c] = ig
 		}
 	}
+	if workers <= 1 {
+		s := p.newScratch(asserted)
+		for _, c := range uncertain {
+			rank(s, c)
+		}
+		return out
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := p.newScratch(asserted)
+			for {
+				lo := int(next.Add(igChunk)) - igChunk
+				if lo >= len(uncertain) {
+					return
+				}
+				hi := lo + igChunk
+				if hi > len(uncertain) {
+					hi = len(uncertain)
+				}
+				for _, c := range uncertain[lo:hi] {
+					rank(s, c)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }

@@ -165,6 +165,142 @@ func TestPropertyExactProbabilitiesSumRule(t *testing.T) {
 	}
 }
 
+// randomSubset draws a random subset of [0, n) with the given bit
+// density. The store's contracts (dedup, counts, view maintenance,
+// columnar co-occurrence counts) do not depend on members being real
+// matching instances, so random subsets exercise them more broadly.
+func randomSubset(rng *rand.Rand, n int, density float64) *bitset.Set {
+	s := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// checkStoreAgainstNaive asserts that every derived view of the store —
+// the columnar CoCounts, Partition, and Probabilities — agrees exactly
+// with a naive row-major recomputation over the held instances.
+func checkStoreAgainstNaive(t *testing.T, st *Store) {
+	t.Helper()
+	n := st.NumCandidates()
+
+	// Naive ground truth from the instance list.
+	naiveCounts := make([]int, n)
+	size := 0
+	st.ForEachInstance(func(inst *bitset.Set) bool {
+		size++
+		inst.ForEach(func(c int) bool {
+			naiveCounts[c]++
+			return true
+		})
+		return true
+	})
+	if size != st.Size() {
+		t.Fatalf("ForEachInstance visited %d instances, Size() = %d", size, st.Size())
+	}
+
+	for c := 0; c < n; c++ {
+		with, without, nWith, nWithout := st.CoCounts(c)
+		wantWith, wantNWith := st.CondCounts(c, true)
+		wantWithout, wantNWithout := st.CondCounts(c, false)
+		if nWith != wantNWith || nWithout != wantNWithout {
+			t.Fatalf("cand %d: partition sizes (%d, %d), naive (%d, %d)",
+				c, nWith, nWithout, wantNWith, wantNWithout)
+		}
+		for d := 0; d < n; d++ {
+			if with[d] != wantWith[d] {
+				t.Fatalf("cand %d: with[%d] = %d, naive %d", c, d, with[d], wantWith[d])
+			}
+			if without[d] != wantWithout[d] {
+				t.Fatalf("cand %d: without[%d] = %d, naive %d", c, d, without[d], wantWithout[d])
+			}
+		}
+		pw, pwo := st.Partition(c)
+		if pw != nWith || pwo != nWithout {
+			t.Fatalf("cand %d: Partition (%d, %d) disagrees with CoCounts (%d, %d)",
+				c, pw, pwo, nWith, nWithout)
+		}
+		if pw != naiveCounts[c] {
+			t.Fatalf("cand %d: count %d, naive %d", c, pw, naiveCounts[c])
+		}
+		var wantP float64
+		if size > 0 {
+			wantP = float64(naiveCounts[c]) / float64(size)
+		}
+		if got := st.Probability(c); got != wantP {
+			t.Fatalf("cand %d: probability %v, naive %v", c, got, wantP)
+		}
+	}
+	probs := st.Probabilities()
+	for c := 0; c < n; c++ {
+		if probs[c] != st.Probability(c) {
+			t.Fatalf("Probabilities()[%d] = %v, Probability = %v", c, probs[c], st.Probability(c))
+		}
+	}
+}
+
+// TestPropertyCoCountsMatchNaiveScan: under random Add/ApplyAssertion
+// workloads, the columnar CoCounts must be bit-identical to the naive
+// row-major CondCounts scan, and Partition/Probabilities must stay
+// consistent with a recomputation from scratch.
+func TestPropertyCoCountsMatchNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(80) // crosses the 64-bit word boundary often
+		st := NewStore(n, 1)
+		for round := 0; round < 3; round++ {
+			adds := 20 + rng.Intn(100)
+			var prev *bitset.Set
+			for i := 0; i < adds; i++ {
+				inst := randomSubset(rng, n, 0.1+0.5*rng.Float64())
+				st.Add(inst)
+				if prev != nil && rng.Intn(4) == 0 {
+					if st.Add(prev) {
+						t.Fatalf("trial %d: duplicate Add reported new", trial)
+					}
+				}
+				prev = inst
+			}
+			checkStoreAgainstNaive(t, st)
+
+			// Assert a candidate that keeps a non-empty store when
+			// possible, so later rounds still exercise compaction.
+			c := rng.Intn(n)
+			with, without := st.Partition(c)
+			approve := with >= without
+			if rng.Intn(4) == 0 {
+				approve = !approve // occasionally wipe most of the store
+			}
+			st.ApplyAssertion(c, approve)
+			if w, wo := st.Partition(c); (approve && wo != 0) || (!approve && w != 0) {
+				t.Fatalf("trial %d: assertion left excluded instances: with=%d without=%d approve=%v",
+					trial, w, wo, approve)
+			}
+			checkStoreAgainstNaive(t, st)
+		}
+	}
+}
+
+// TestPropertyStoreAddAfterCompaction: Add must keep the columnar matrix
+// and fingerprint dedup coherent when instances arrive after assertions
+// shrank the store (rows are renumbered by compaction).
+func TestPropertyStoreAddAfterCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 10; trial++ {
+		n := 66 + rng.Intn(30)
+		st := NewStore(n, 1)
+		for i := 0; i < 150; i++ {
+			st.Add(randomSubset(rng, n, 0.3))
+			if i%40 == 39 {
+				st.ApplyAssertion(rng.Intn(n), rng.Intn(2) == 0)
+			}
+		}
+		checkStoreAgainstNaive(t, st)
+	}
+}
+
 // TestPropertyDisapprovalSupersets: every instance enumerated under a
 // disapproval is a superset-maximal set that would have been consistent
 // before; i.e. it is consistent under no feedback too (anti-monotone

@@ -43,10 +43,13 @@ func DefaultConfig() Config {
 }
 
 // Sampler draws matching instances for one network and constraint set.
+// A Sampler is not safe for concurrent use (it owns an rng and reuses
+// walk scratch buffers).
 type Sampler struct {
-	engine *constraints.Engine
-	cfg    Config
-	rng    *rand.Rand
+	engine  *constraints.Engine
+	cfg     Config
+	rng     *rand.Rand
+	freeBuf []int // scratch for freeCandidates, reused across walk steps
 }
 
 // NewSampler builds a sampler. rng must not be nil.
@@ -64,16 +67,21 @@ func NewSampler(engine *constraints.Engine, cfg Config, rng *rand.Rand) *Sampler
 func (s *Sampler) Config() Config { return s.cfg }
 
 // freeCandidates returns C \ F− \ I, the candidates eligible for a walk
-// move.
+// move. The returned slice aliases the sampler's scratch buffer and is
+// valid only until the next call.
 func (s *Sampler) freeCandidates(inst, disapproved *bitset.Set) []int {
 	n := s.engine.Network().NumCandidates()
-	out := make([]int, 0, n)
+	if cap(s.freeBuf) < n {
+		s.freeBuf = make([]int, 0, n)
+	}
+	out := s.freeBuf[:0]
 	for c := 0; c < n; c++ {
 		if inst.Has(c) || (disapproved != nil && disapproved.Has(c)) {
 			continue
 		}
 		out = append(out, c)
 	}
+	s.freeBuf = out
 	return out
 }
 

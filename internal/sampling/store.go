@@ -8,12 +8,25 @@ import "schemanet/internal/bitset"
 // distinct sampled instances containing c — uniform over what sampling
 // has discovered. Coverage, not multiplicity, determines the estimate's
 // quality, which is why the sampler mixes restarts into its walk.
+//
+// Alongside the row-major instance list the store maintains a
+// *transposed, columnar* bit matrix: cols[c] is a word slice whose bit i
+// is set iff instances[i] contains candidate c. Conditional
+// co-occurrence counts — the inner loop of the information-gain ranking
+// (Equations 4–5) — then collapse to word-wise AND + popcount between
+// two columns, O(S/64) per candidate pair instead of O(S) (see
+// DESIGN.md, "Columnar sample store").
 type Store struct {
 	numCands  int
 	nmin      int
 	instances []*bitset.Set
-	index     map[string]int
-	counts    []int
+	fps       []uint64         // fps[i] = instances[i].Fingerprint()
+	index     map[uint64][]int // fingerprint -> instance rows (collision bucket)
+	counts    []int            // counts[c] = popcount(cols[c])
+	cols      [][]uint64       // candidate-major, sample-minor bit matrix
+	slab      []uint64         // backing array of cols: column c is slab[c*colCap:]
+	colCap    int              // words of slab capacity per column
+	colWords  int              // words per column in use, ceil(len(instances)/64)
 	complete  bool
 }
 
@@ -23,23 +36,33 @@ func NewStore(numCands, nmin int) *Store {
 	return &Store{
 		numCands: numCands,
 		nmin:     nmin,
-		index:    make(map[string]int),
+		index:    make(map[uint64][]int),
 		counts:   make([]int, numCands),
+		cols:     make([][]uint64, numCands),
 	}
 }
 
 // Add inserts a copy of inst unless an identical instance is already
-// present; it reports whether the instance was new.
+// present; it reports whether the instance was new. Dedup uses a 64-bit
+// fingerprint index with an Equal check on collision, avoiding the
+// string-key allocation a map[string]int would cost per emission.
 func (st *Store) Add(inst *bitset.Set) bool {
-	key := inst.Key()
-	if _, dup := st.index[key]; dup {
-		return false
+	fp := inst.Fingerprint()
+	for _, i := range st.index[fp] {
+		if st.instances[i].Equal(inst) {
+			return false
+		}
 	}
 	cp := inst.Clone()
-	st.index[key] = len(st.instances)
+	row := len(st.instances)
+	st.index[fp] = append(st.index[fp], row)
 	st.instances = append(st.instances, cp)
+	st.fps = append(st.fps, fp)
+	st.ensureColWords(row>>6 + 1)
+	w, b := row>>6, uint(row&63)
 	cp.ForEach(func(c int) bool {
 		st.counts[c]++
+		st.cols[c][w] |= 1 << b
 		return true
 	})
 	return true
@@ -91,29 +114,83 @@ func (st *Store) NeedsResample() bool {
 
 // ApplyAssertion performs the view-maintenance update of §III-B:
 // approving c keeps only instances containing c; disapproving keeps only
-// instances without c.
+// instances without c. One compaction pass rebuilds the fingerprint
+// index, the columnar matrix, and the per-candidate counts.
 func (st *Store) ApplyAssertion(c int, approved bool) {
 	kept := st.instances[:0]
-	for _, inst := range st.instances {
+	fps := st.fps[:0]
+	for k := range st.index {
+		delete(st.index, k)
+	}
+	for i, inst := range st.instances {
 		if inst.Has(c) == approved {
+			fp := st.fps[i]
+			st.index[fp] = append(st.index[fp], len(kept))
 			kept = append(kept, inst)
-		} else {
-			delete(st.index, inst.Key())
-			inst.ForEach(func(d int) bool {
-				st.counts[d]--
-				return true
-			})
+			fps = append(fps, fp)
 		}
 	}
 	for i := len(kept); i < len(st.instances); i++ {
 		st.instances[i] = nil
 	}
 	st.instances = kept
-	for i, inst := range st.instances {
-		st.index[inst.Key()] = i
-	}
+	st.fps = fps
+	st.rebuildColumns()
 	if !approved {
 		st.ClearComplete()
+	}
+}
+
+// ensureColWords grows every column to the given word count. All
+// columns share one backing slab (column c at stride colCap), so a
+// capacity growth is a single allocation plus one copy per column, and
+// adjacent columns stay contiguous for the ranking scan.
+func (st *Store) ensureColWords(words int) {
+	if words <= st.colWords {
+		return
+	}
+	if words > st.colCap {
+		newCap := st.colCap * 2
+		if newCap < words {
+			newCap = words
+		}
+		if newCap < 4 {
+			newCap = 4
+		}
+		slab := make([]uint64, st.numCands*newCap)
+		for c, col := range st.cols {
+			copy(slab[c*newCap:], col)
+		}
+		st.slab = slab
+		st.colCap = newCap
+	}
+	st.colWords = words
+	for c := range st.cols {
+		st.cols[c] = st.slab[c*st.colCap : c*st.colCap+words]
+	}
+}
+
+// rebuildColumns recomputes the columnar matrix and counts from the
+// (compacted) instance list. Sample rows are renumbered densely, so
+// every column is rewritten.
+func (st *Store) rebuildColumns() {
+	words := (len(st.instances) + 63) / 64
+	for i := range st.slab {
+		st.slab[i] = 0
+	}
+	st.colWords = 0
+	st.ensureColWords(words)
+	for c := range st.cols {
+		st.cols[c] = st.slab[c*st.colCap : c*st.colCap+words]
+		st.counts[c] = 0
+	}
+	for i, inst := range st.instances {
+		w, b := i>>6, uint(i&63)
+		inst.ForEach(func(d int) bool {
+			st.counts[d]++
+			st.cols[d][w] |= 1 << b
+			return true
+		})
 	}
 }
 
@@ -156,11 +233,37 @@ func (st *Store) Partition(c int) (with, without int) {
 	return with, len(st.instances) - with
 }
 
+// CoCounts returns, for every candidate d, how many instances contain
+// both c and d (with[d]) and how many contain d but not c (without[d]),
+// together with the sizes of the two partitions. It is the batched,
+// columnar replacement for calling CondCounts twice: one word-wise
+// AND+popcount per candidate pair, with the without-side derived as
+// counts[d] − with[d].
+func (st *Store) CoCounts(c int) (with, without []int, nWith, nWithout int) {
+	with = make([]int, st.numCands)
+	without = make([]int, st.numCands)
+	nWith, nWithout = st.CoCountsInto(c, with, without)
+	return with, without, nWith, nWithout
+}
+
+// CoCountsInto is CoCounts writing into caller-provided slices (len ≥
+// NumCandidates each), so ranking loops can reuse scratch buffers.
+func (st *Store) CoCountsInto(c int, with, without []int) (nWith, nWithout int) {
+	colC := st.cols[c]
+	for d := 0; d < st.numCands; d++ {
+		w := bitset.AndCountWords(st.cols[d], colC)
+		with[d] = w
+		without[d] = st.counts[d] - w
+	}
+	return st.counts[c], len(st.instances) - st.counts[c]
+}
+
 // CondCounts returns, for every candidate d, the number of instances
 // that contain both c and d (when withC is true) or d but not c (when
 // withC is false), together with the number of instances in that
-// partition. The uncertainty-reduction step uses this to evaluate the
-// hypothetical networks P+ and P− of Equation 4 without resampling.
+// partition. It is the naive row-major scan kept as the reference
+// implementation for the columnar CoCounts; property tests cross-check
+// the two. Hot paths should use CoCounts/CoCountsInto.
 func (st *Store) CondCounts(c int, withC bool) (counts []int, total int) {
 	counts = make([]int, st.numCands)
 	for _, inst := range st.instances {

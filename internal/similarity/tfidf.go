@@ -2,6 +2,7 @@ package similarity
 
 import (
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -19,9 +20,13 @@ type Corpus struct {
 	vecs map[string]vector
 }
 
-// vector is a cached TF-IDF vector with its precomputed norm.
+// vector is a cached TF-IDF vector with its precomputed norm. Tokens are
+// kept sorted so dot products and norms accumulate in a fixed order:
+// map-ordered float summation varies between runs by an ulp, which is
+// enough to flip a candidate sitting exactly on a selector threshold.
 type vector struct {
-	weights map[string]float64
+	toks    []string
+	weights []float64
 	norm    float64
 }
 
@@ -91,14 +96,19 @@ func (c *Corpus) vector(name string) vector {
 	for _, t := range c.tokens(name) {
 		tf[t]++
 	}
-	w := make(map[string]float64, len(tf))
+	toks := make([]string, 0, len(tf))
+	for t := range tf {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	w := make([]float64, len(toks))
 	n := 0.0
-	for t, f := range tf {
-		x := float64(f) * c.idf(t)
-		w[t] = x
+	for i, t := range toks {
+		x := float64(tf[t]) * c.idf(t)
+		w[i] = x
 		n += x * x
 	}
-	v := vector{weights: w, norm: math.Sqrt(n)}
+	v := vector{toks: toks, weights: w, norm: math.Sqrt(n)}
 	c.mu.Lock()
 	c.vecs[name] = v
 	c.mu.Unlock()
@@ -108,19 +118,24 @@ func (c *Corpus) vector(name string) vector {
 // Cosine returns the TF-IDF cosine similarity of two names in [0, 1].
 func (c *Corpus) Cosine(a, b string) float64 {
 	va, vb := c.vector(a), c.vector(b)
-	if len(va.weights) == 0 && len(vb.weights) == 0 {
+	if len(va.toks) == 0 && len(vb.toks) == 0 {
 		return 1
 	}
 	if va.norm == 0 || vb.norm == 0 {
 		return 0
 	}
-	if len(vb.weights) < len(va.weights) {
-		va, vb = vb, va
-	}
+	// Merge join over the sorted token lists.
 	dot := 0.0
-	for t, x := range va.weights {
-		if y, ok := vb.weights[t]; ok {
-			dot += x * y
+	for i, j := 0, 0; i < len(va.toks) && j < len(vb.toks); {
+		switch {
+		case va.toks[i] < vb.toks[j]:
+			i++
+		case va.toks[i] > vb.toks[j]:
+			j++
+		default:
+			dot += va.weights[i] * vb.weights[j]
+			i++
+			j++
 		}
 	}
 	return dot / (va.norm * vb.norm)

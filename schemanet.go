@@ -128,6 +128,10 @@ type Options struct {
 	// the paper's heuristic), "random" (no-tool baseline),
 	// "least-certain", or "by-confidence".
 	Strategy string
+	// Workers bounds the goroutines of the information-gain ranking
+	// pass that backs Suggest. 0 uses all CPUs (GOMAXPROCS); 1 forces a
+	// sequential pass. Assertions and instantiation are unaffected.
+	Workers int
 	// ExclusivePairs declares attribute pairs that must never be matched
 	// together (a custom MutualExclusion constraint on top of the
 	// paper's Γ).
@@ -204,6 +208,7 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 		cfg.Samples = o.Samples
 	}
 	cfg.Exact = o.Exact
+	cfg.Workers = o.Workers
 
 	rng := rand.New(rand.NewSource(o.Seed))
 	s := &Session{
