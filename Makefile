@@ -20,7 +20,7 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# One-iteration smoke of the hot-path benchmarks (a superset of the
-# CI bench step, which runs BenchmarkInformationGain only).
+# One-iteration smoke of the hot-path benchmarks (a superset of the CI
+# bench step).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkInformationGain|BenchmarkSamplePerEmission|BenchmarkSessionAssert' -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkInformationGain|BenchmarkSamplePerEmission|BenchmarkSessionAssert|BenchmarkMaximize|BenchmarkRepair' -benchmem -benchtime 1x .

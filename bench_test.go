@@ -101,29 +101,48 @@ func BenchmarkSamplePerEmission(b *testing.B) {
 
 func benchName(size int) string { return fmt.Sprintf("C=%d", size) }
 
+// benchEngines yields the compiled engine for every size plus the
+// interpreted reference at C=512, so one bench run shows the compiled
+// conflict index against its baseline on the same commit.
+func benchEngines(b *testing.B, run func(b *testing.B, e *constraints.Engine, rng *rand.Rand)) {
+	b.Helper()
+	for _, size := range []int{128, 512, 2048} {
+		b.Run(benchName(size), func(b *testing.B) {
+			e, rng := benchNetwork(b, size)
+			run(b, e, rng)
+		})
+	}
+	b.Run("C=512-interpreted", func(b *testing.B) {
+		d, rng := benchDataset(b, 512)
+		run(b, constraints.DefaultInterpreted(d.Network), rng)
+	})
+}
+
 // BenchmarkRepair measures Algorithm 4 on a maximal instance.
 func BenchmarkRepair(b *testing.B) {
-	e, rng := benchNetwork(b, 512)
-	inst := e.NewInstance()
-	e.Maximize(inst, nil, rng)
-	n := e.Network().NumCandidates()
-	work := inst.Clone()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		work.CopyFrom(inst)
-		e.Repair(work, rng.Intn(n), nil)
-	}
+	benchEngines(b, func(b *testing.B, e *constraints.Engine, rng *rand.Rand) {
+		inst := e.NewInstance()
+		e.Maximize(inst, nil, rng)
+		n := e.Network().NumCandidates()
+		work := inst.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work.CopyFrom(inst)
+			e.Repair(work, rng.Intn(n), nil)
+		}
+	})
 }
 
 // BenchmarkMaximize measures the saturation pass.
 func BenchmarkMaximize(b *testing.B) {
-	e, rng := benchNetwork(b, 512)
-	inst := e.NewInstance()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		inst.Clear()
-		e.Maximize(inst, nil, rng)
-	}
+	benchEngines(b, func(b *testing.B, e *constraints.Engine, rng *rand.Rand) {
+		inst := e.NewInstance()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst.Clear()
+			e.Maximize(inst, nil, rng)
+		}
+	})
 }
 
 // BenchmarkInformationGain measures one full IG ranking pass (the

@@ -92,6 +92,57 @@ func (s *Set) Clear() {
 	}
 }
 
+// SetAll adds every element of the universe [0, Len()). Together with
+// DifferenceWith it builds complement masks (e.g. the sampler's free set
+// C \ I \ F−) without per-element loops.
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := s.n % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << uint(r)) - 1
+	}
+}
+
+// NthMember returns the k-th smallest member (0-based), or -1 when k is
+// negative or at least Count(). It walks whole words by popcount, so
+// selecting a uniform member of a mask is O(Len/64) instead of
+// materializing the member slice.
+func (s *Set) NthMember(k int) int {
+	if k < 0 {
+		return -1
+	}
+	for wi, w := range s.words {
+		c := bits.OnesCount64(w)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; k > 0; k-- {
+			w &= w - 1
+		}
+		return wi*wordBits + bits.TrailingZeros64(w)
+	}
+	return -1
+}
+
+// ForEachAnd calls fn for every member of s ∩ o in ascending order
+// without materializing the intersection. If fn returns false, iteration
+// stops early.
+func (s *Set) ForEachAnd(o *Set, fn func(i int) bool) {
+	s.mustMatch(o)
+	for wi, w := range s.words {
+		w &= o.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // Clone returns an independent copy.
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words)), n: s.n}

@@ -361,3 +361,74 @@ func TestFingerprint(t *testing.T) {
 		seen[fp] = s
 	}
 }
+
+func TestSetAll(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 256} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Fatalf("SetAll on n=%d: Count = %d", n, got)
+		}
+		// No bits beyond the universe: clearing every member empties it.
+		for i := 0; i < n; i++ {
+			s.Remove(i)
+		}
+		if !s.Empty() {
+			t.Fatalf("SetAll on n=%d left stray tail bits", n)
+		}
+	}
+}
+
+func TestNthMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		s, _ := randomSet(rng, n)
+		members := s.Members()
+		for k, want := range members {
+			if got := s.NthMember(k); got != want {
+				t.Fatalf("NthMember(%d) = %d, want %d", k, got, want)
+			}
+		}
+		if got := s.NthMember(len(members)); got != -1 {
+			t.Fatalf("NthMember past the end = %d, want -1", got)
+		}
+		if got := s.NthMember(-1); got != -1 {
+			t.Fatalf("NthMember(-1) = %d, want -1", got)
+		}
+	}
+}
+
+func TestForEachAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		a, _ := randomSet(rng, n)
+		b, _ := randomSet(rng, n)
+		want := a.Clone()
+		want.IntersectWith(b)
+		var got []int
+		a.ForEachAnd(b, func(i int) bool {
+			got = append(got, i)
+			return true
+		})
+		wantMembers := want.Members()
+		if len(got) != len(wantMembers) {
+			t.Fatalf("ForEachAnd visited %d members, want %d", len(got), len(wantMembers))
+		}
+		for i := range got {
+			if got[i] != wantMembers[i] {
+				t.Fatalf("ForEachAnd order mismatch at %d: %d vs %d", i, got[i], wantMembers[i])
+			}
+		}
+		// Early stop after the first member.
+		calls := 0
+		a.ForEachAnd(b, func(int) bool {
+			calls++
+			return false
+		})
+		if len(wantMembers) > 0 && calls != 1 {
+			t.Fatalf("ForEachAnd ignored early stop: %d calls", calls)
+		}
+	}
+}

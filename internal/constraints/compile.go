@@ -1,0 +1,158 @@
+package constraints
+
+import (
+	"schemanet/internal/bitset"
+	"schemanet/internal/schema"
+)
+
+// conflictIndex is the execute-phase form of a compiled constraint set Γ
+// (see DESIGN.md, "Compiled conflict index"). It is built once per
+// network by compileAll and is immutable afterwards, so it is safe to
+// share across goroutines.
+//
+// The pairwise constraints collapse into one shared conflict matrix:
+// rows[c] is the union of every pairwise constraint's conflict row for
+// c, making the pairwise part of HasConflict a single AndCount. Gated
+// constraints keep their interpreted evaluators behind a word-wise
+// participation-mask early-out; residual constraints (a compilation that
+// is neither pairwise nor gated) stay fully interpreted.
+type conflictIndex struct {
+	rows []*bitset.Set // merged conflict matrix; rows[c] nil = empty row
+	// extra holds multiplicity layers for Repair's victim counting:
+	// extra[k][c] contains d iff at least k+2 pairwise constraints
+	// declare {c, d} conflicting. Layers are nested (extra[k+1][c] ⊆
+	// extra[k][c]) and virtually always absent — they only exist when
+	// distinct pairwise constraints overlap on the same pair, in which
+	// case the interpreted engine reports one violation per constraint
+	// and the compiled victim counts must match.
+	extra    [][]*bitset.Set
+	gates    []gatedConstraint
+	residual []Constraint
+}
+
+// chainStreamer is an optional fast path for gated constraints: it
+// streams each violation's members through fn without materializing
+// Violation values, reusing scratch across calls. The enumerated
+// violations must be exactly those ConflictsWith would return.
+type chainStreamer interface {
+	ForEachChain(inst *bitset.Set, c int, scratch []int, fn func(members []int) bool) []int
+}
+
+// gatedConstraint pairs a non-pairwise constraint with its compiled
+// participation masks.
+type gatedConstraint struct {
+	con    Constraint
+	stream chainStreamer // non-nil when con supports streaming enumeration
+	masks  []*bitset.Set
+	min    []int
+}
+
+// compileAll runs the compile phase over Γ and merges the results.
+func compileAll(net *schema.Network, cons []Constraint) *conflictIndex {
+	n := net.NumCandidates()
+	idx := &conflictIndex{rows: make([]*bitset.Set, n)}
+	for _, con := range cons {
+		comp := con.Compile()
+		switch {
+		case comp.Pairwise():
+			symmetrize(comp.ConflictRows)
+			idx.merge(n, comp.ConflictRows)
+		case comp.Gated():
+			stream, _ := con.(chainStreamer)
+			idx.gates = append(idx.gates, gatedConstraint{con: con, stream: stream, masks: comp.GateMasks, min: comp.GateMin})
+		default:
+			idx.residual = append(idx.residual, con)
+		}
+	}
+	return idx
+}
+
+// symmetrize closes the conflict rows under symmetry. Maximize relies on
+// d ∈ rows[c] ⟺ c ∈ rows[d] to propagate a blocked mask from instance
+// members to candidates; both built-in pairwise constraints already emit
+// symmetric rows, this guards pluggable ones.
+func symmetrize(rows []*bitset.Set) {
+	n := len(rows)
+	for c := 0; c < n; c++ {
+		if rows[c] == nil {
+			continue
+		}
+		cc := c
+		rows[cc].ForEach(func(d int) bool {
+			if rows[d] == nil {
+				rows[d] = bitset.New(n)
+			}
+			rows[d].Add(cc)
+			return true
+		})
+	}
+}
+
+// merge folds one pairwise constraint's conflict rows into the shared
+// matrix, routing already-present pairs into the multiplicity layers.
+func (idx *conflictIndex) merge(n int, rows []*bitset.Set) {
+	for c := 0; c < n; c++ {
+		r := rows[c]
+		if r == nil || r.Empty() {
+			continue
+		}
+		if idx.rows[c] == nil {
+			idx.rows[c] = r.Clone()
+			continue
+		}
+		ov := r.Clone()
+		ov.IntersectWith(idx.rows[c])
+		idx.rows[c].UnionWith(r)
+		for k := 0; !ov.Empty(); k++ {
+			if len(idx.extra) <= k {
+				idx.extra = append(idx.extra, make([]*bitset.Set, n))
+			}
+			layer := idx.extra[k]
+			if layer[c] == nil {
+				layer[c] = ov
+				break
+			}
+			next := ov.Clone()
+			next.IntersectWith(layer[c])
+			layer[c].UnionWith(ov)
+			ov = next
+		}
+	}
+}
+
+// multiplicity returns how many pairwise constraints declare {c, d}
+// conflicting (≥1; callers only ask about pairs present in rows[c]).
+func (idx *conflictIndex) multiplicity(c, d int) int {
+	m := 1
+	for _, layer := range idx.extra {
+		if layer[c] == nil || !layer[c].Has(d) {
+			break // layers are nested: a miss ends the chain
+		}
+		m++
+	}
+	return m
+}
+
+// gatePasses reports whether candidate c clears gate g on inst: the
+// instance holds at least min[c] candidates that could complete a
+// violation with c. A nil mask means c can never be in violation.
+func (g *gatedConstraint) gatePasses(inst *bitset.Set, c int) bool {
+	return g.masks[c] != nil && inst.AndCount(g.masks[c]) >= g.min[c]
+}
+
+// slowConflict evaluates the non-pairwise part of HasConflict: gated
+// constraints behind their early-out, then residual constraints.
+func (idx *conflictIndex) slowConflict(inst *bitset.Set, c int) bool {
+	for i := range idx.gates {
+		g := &idx.gates[i]
+		if g.gatePasses(inst, c) && g.con.HasConflict(inst, c) {
+			return true
+		}
+	}
+	for _, con := range idx.residual {
+		if con.HasConflict(inst, c) {
+			return true
+		}
+	}
+	return false
+}

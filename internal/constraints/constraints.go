@@ -36,6 +36,41 @@ func (v Violation) Key() string {
 	return b.String()
 }
 
+// fingerprint returns a 64-bit FNV-1a hash of (Constraint, Cands).
+// Cands are sorted by construction, so equal violations always share a
+// fingerprint; ViolationCount compares with equal on collision.
+func (v Violation) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(v.Constraint); i++ {
+		h ^= uint64(v.Constraint[i])
+		h *= prime64
+	}
+	h ^= uint64(len(v.Cands))
+	h *= prime64
+	for _, c := range v.Cands {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// equal reports whether two violations have the same kind and members.
+func (v Violation) equal(w Violation) bool {
+	if v.Constraint != w.Constraint || len(v.Cands) != len(w.Cands) {
+		return false
+	}
+	for i, c := range v.Cands {
+		if c != w.Cands[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func newViolation(kind string, cands ...int) Violation {
 	sort.Ints(cands)
 	return Violation{Constraint: kind, Cands: cands}
@@ -57,4 +92,36 @@ type Constraint interface {
 	// Violations returns every violation among the members of inst, each
 	// exactly once.
 	Violations(inst *bitset.Set) []Violation
+	// Compile emits the constraint's compiled form, evaluated once per
+	// network at engine construction (see DESIGN.md, "Compiled conflict
+	// index"). The zero value keeps the constraint fully interpreted.
+	Compile() Compiled
 }
+
+// Compiled is the output of a constraint's compile phase. A constraint
+// picks exactly one of the two shapes (or neither):
+//
+//   - Pairwise: ConflictRows[c] is the exact, symmetric set of candidates
+//     that can never coexist with c — every violation of the constraint is
+//     a pair {c, d} with d ∈ ConflictRows[c]. The engine folds the rows of
+//     all pairwise constraints into one shared conflict matrix and never
+//     dispatches to the interpreted methods on the hot path.
+//
+//   - Gated: GateMasks[c] over-approximates the candidates other than c
+//     that can participate in a violation involving c, and GateMin[c] is
+//     the minimum |inst ∩ GateMasks[c]| any such violation requires. The
+//     engine runs one word-wise AndCount as an early-out before the
+//     interpreted check; a nil mask means c can never be in violation.
+type Compiled struct {
+	ConflictRows []*bitset.Set
+	GateMasks    []*bitset.Set
+	GateMin      []int
+}
+
+// Pairwise reports whether the compilation is a complete pairwise
+// conflict relation.
+func (c Compiled) Pairwise() bool { return c.ConflictRows != nil }
+
+// Gated reports whether the compilation is an early-out gate over an
+// interpreted check.
+func (c Compiled) Gated() bool { return c.GateMasks != nil }

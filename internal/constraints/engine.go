@@ -12,23 +12,64 @@ import (
 // network and provides the repair and maximization primitives shared by
 // the sampler (Algorithm 3) and the instantiation heuristic
 // (Algorithm 2).
+//
+// NewEngine compiles Γ into a conflict index (see DESIGN.md, "Compiled
+// conflict index"): the pairwise constraints become one shared conflict
+// matrix and the non-pairwise ones get word-wise early-out gates, so the
+// per-walk-step primitives run as word operations over masks instead of
+// per-candidate interface dispatch. NewInterpreted skips compilation and
+// is the reference implementation the differential tests compare
+// against.
+//
+// Concurrency: the query methods (HasConflict, ConflictsWith,
+// Violations, Consistent, CanAdd, Maximal, ViolationCount) are safe for
+// concurrent use after construction. Maximize and Repair reuse
+// engine-owned scratch and must be externally serialized — every
+// current caller (the sampler, the local search) owns its engine.
 type Engine struct {
 	net  *schema.Network
 	cons []Constraint
+	idx  *conflictIndex // nil on the interpreted reference path
+
+	// Scratch reused by the mutating primitives.
+	order    []int       // Maximize: visit order
+	blocked  *bitset.Set // Maximize: inst ∪ excluded ∪ conflict rows of inst
+	counts   []int32     // Repair: per-candidate violation counts
+	touched  []int       // Repair: candidates with counts[c] > 0
+	chainBuf []int       // Repair: chain buffer for streaming enumeration
 }
 
-// NewEngine binds the constraints to the network. The standard paper
-// configuration is NewEngine(net, NewOneToOne(net), NewCycle(net,
-// DefaultMaxCycleLen)); see Default.
+// NewEngine binds the constraints to the network and compiles them. The
+// standard paper configuration is NewEngine(net, NewOneToOne(net),
+// NewCycle(net, DefaultMaxCycleLen)); see Default.
 func NewEngine(net *schema.Network, cons ...Constraint) *Engine {
+	e := NewInterpreted(net, cons...)
+	e.idx = compileAll(net, cons)
+	return e
+}
+
+// NewInterpreted binds the constraints without compiling them: every
+// query dispatches through the Constraint interface. This is the
+// reference implementation kept for differential testing and debugging
+// (the CondCounts pattern); production callers want NewEngine.
+func NewInterpreted(net *schema.Network, cons ...Constraint) *Engine {
 	return &Engine{net: net, cons: cons}
 }
 
-// Default returns the engine with the paper's constraint set Γ =
-// {one-to-one, cycle}.
+// Default returns the compiled engine with the paper's constraint set
+// Γ = {one-to-one, cycle}.
 func Default(net *schema.Network) *Engine {
 	return NewEngine(net, NewOneToOne(net), NewCycle(net, DefaultMaxCycleLen))
 }
+
+// DefaultInterpreted is Default on the interpreted reference path.
+func DefaultInterpreted(net *schema.Network) *Engine {
+	return NewInterpreted(net, NewOneToOne(net), NewCycle(net, DefaultMaxCycleLen))
+}
+
+// Compiled reports whether the engine runs on the compiled conflict
+// index (false only for NewInterpreted).
+func (e *Engine) Compiled() bool { return e.idx != nil }
 
 // Network returns the bound network.
 func (e *Engine) Network() *schema.Network { return e.net }
@@ -51,12 +92,18 @@ func FromIndicesFor(net *schema.Network, indices ...int) *bitset.Set {
 // HasConflict reports whether candidate c, treated as selected, would
 // participate in any violation given the other members of inst.
 func (e *Engine) HasConflict(inst *bitset.Set, c int) bool {
-	for _, con := range e.cons {
-		if con.HasConflict(inst, c) {
-			return true
+	if e.idx == nil {
+		for _, con := range e.cons {
+			if con.HasConflict(inst, c) {
+				return true
+			}
 		}
+		return false
 	}
-	return false
+	if r := e.idx.rows[c]; r != nil && inst.AndCount(r) > 0 {
+		return true
+	}
+	return e.idx.slowConflict(inst, c)
 }
 
 // ConflictsWith returns all violations candidate c would participate in.
@@ -111,25 +158,73 @@ func (e *Engine) Maximal(inst, excluded *bitset.Set) bool {
 	return true
 }
 
-// Maximize greedily saturates inst: candidates outside inst and excluded
-// are visited in random order (deterministic ascending order when rng is
-// nil) and added whenever consistent. Since the constraints are
-// anti-monotone, one pass yields a maximal instance.
-func (e *Engine) Maximize(inst, excluded *bitset.Set, rng *rand.Rand) {
+// visitOrder fills the engine's order scratch with 0..n−1, shuffled when
+// rng is non-nil. Hoisting the slice out of Maximize matters because the
+// sampler calls Maximize on every walk step.
+func (e *Engine) visitOrder(rng *rand.Rand) []int {
 	n := e.net.NumCandidates()
-	order := make([]int, n)
+	if cap(e.order) < n {
+		e.order = make([]int, n)
+	}
+	order := e.order[:n]
 	for i := range order {
 		order[i] = i
 	}
 	if rng != nil {
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
+	return order
+}
+
+// Maximize greedily saturates inst: candidates outside inst and excluded
+// are visited in random order (deterministic ascending order when rng is
+// nil) and added whenever consistent. Since the constraints are
+// anti-monotone, one pass yields a maximal instance.
+//
+// On the compiled path the pass maintains an incremental blocked mask —
+// inst ∪ excluded ∪ the conflict rows of every member — so the pairwise
+// admissibility test is one bit probe and adding c is one word-wise OR
+// of its conflict row; only gate-passing candidates reach an interpreted
+// check.
+func (e *Engine) Maximize(inst, excluded *bitset.Set, rng *rand.Rand) {
+	order := e.visitOrder(rng)
+	if e.idx == nil {
+		for _, c := range order {
+			if inst.Has(c) || (excluded != nil && excluded.Has(c)) {
+				continue
+			}
+			if e.CanAdd(inst, c) {
+				inst.Add(c)
+			}
+		}
+		return
+	}
+	n := e.net.NumCandidates()
+	if e.blocked == nil || e.blocked.Len() != n {
+		e.blocked = bitset.New(n)
+	}
+	blocked := e.blocked
+	blocked.CopyFrom(inst)
+	if excluded != nil {
+		blocked.UnionWith(excluded)
+	}
+	inst.ForEach(func(c int) bool {
+		if r := e.idx.rows[c]; r != nil {
+			blocked.UnionWith(r)
+		}
+		return true
+	})
 	for _, c := range order {
-		if inst.Has(c) || (excluded != nil && excluded.Has(c)) {
+		if blocked.Has(c) {
 			continue
 		}
-		if e.CanAdd(inst, c) {
-			inst.Add(c)
+		if e.idx.slowConflict(inst, c) {
+			continue
+		}
+		inst.Add(c)
+		blocked.Add(c)
+		if r := e.idx.rows[c]; r != nil {
+			blocked.UnionWith(r)
 		}
 	}
 }
@@ -145,7 +240,134 @@ func (e *Engine) Maximize(inst, excluded *bitset.Set, rng *rand.Rand) {
 // The precondition matching the paper's use is that inst is consistent
 // before the call; then every violation involves `added` and the loop
 // terminates with a consistent instance.
+//
+// On the compiled path the pairwise violations are read directly off the
+// conflict matrix (inst ∩ rows[added], word-wise) and victim counts
+// accumulate in a reusable indexed scratch with a smallest-index
+// tie-break — the same deterministic result as the interpreted
+// reference, with zero allocations in the loop.
 func (e *Engine) Repair(inst *bitset.Set, added int, approved *bitset.Set) {
+	if e.idx == nil {
+		e.repairInterpreted(inst, added, approved)
+		return
+	}
+	inst.Add(added)
+	n := e.net.NumCandidates()
+	if len(e.counts) < n {
+		e.counts = make([]int32, n)
+	}
+	counts := e.counts
+	touched := e.touched[:0]
+	// The accounting closures are hoisted out of the repair loop (and
+	// anyViol/unrepairable with them) so each Repair call allocates at
+	// most their two captures, not two closures per iteration.
+	var anyViol, unrepairable bool
+	row := e.idx.rows[added]
+	pairVisit := func(d int) bool {
+		anyViol = true
+		if approved != nil && approved.Has(d) {
+			unrepairable = true
+			return false
+		}
+		if counts[d] == 0 {
+			touched = append(touched, d)
+		}
+		counts[d] += int32(e.idx.multiplicity(added, d))
+		return true
+	}
+	// countViol mirrors the per-violation accounting of the interpreted
+	// reference for chain (and residual) violations.
+	countViol := func(members []int) bool {
+		anyViol = true
+		removable := 0
+		for _, ci := range members {
+			if ci == added || (approved != nil && approved.Has(ci)) {
+				continue
+			}
+			if inst.Has(ci) {
+				if counts[ci] == 0 {
+					touched = append(touched, ci)
+				}
+				counts[ci]++
+				removable++
+			}
+		}
+		if removable == 0 {
+			unrepairable = true
+			return false
+		}
+		return true
+	}
+	for {
+		anyViol, unrepairable = false, false
+		if row != nil {
+			inst.ForEachAnd(row, pairVisit)
+		}
+		if !unrepairable {
+			for i := range e.idx.gates {
+				g := &e.idx.gates[i]
+				if !g.gatePasses(inst, added) {
+					continue
+				}
+				if g.stream != nil {
+					e.chainBuf = g.stream.ForEachChain(inst, added, e.chainBuf, countViol)
+				} else {
+					for _, v := range g.con.ConflictsWith(inst, added) {
+						if !countViol(v.Cands) {
+							break
+						}
+					}
+				}
+				if unrepairable {
+					break
+				}
+			}
+		}
+		if !unrepairable {
+			for _, con := range e.idx.residual {
+				for _, v := range con.ConflictsWith(inst, added) {
+					if !countViol(v.Cands) {
+						break
+					}
+				}
+				if unrepairable {
+					break
+				}
+			}
+		}
+		if unrepairable {
+			// Unrepairable without touching protected members: drop the
+			// newly added correspondence.
+			for _, ci := range touched {
+				counts[ci] = 0
+			}
+			e.touched = touched[:0]
+			inst.Remove(added)
+			return
+		}
+		if !anyViol {
+			e.touched = touched[:0]
+			return
+		}
+		victim, best := -1, int32(-1)
+		for _, ci := range touched {
+			if counts[ci] > best || (counts[ci] == best && ci < victim) {
+				victim, best = ci, counts[ci]
+			}
+		}
+		for _, ci := range touched {
+			counts[ci] = 0
+		}
+		touched = touched[:0]
+		inst.Remove(victim)
+	}
+}
+
+// repairInterpreted is the reference Repair over the Constraint
+// interface, kept deliberately naive (per-iteration map + sort) so the
+// differential tests compare the compiled path against an
+// obviously-correct baseline.
+func (e *Engine) repairInterpreted(inst *bitset.Set, added int, approved *bitset.Set) {
 	inst.Add(added)
 	for {
 		viols := e.ConflictsWith(inst, added)
@@ -165,8 +387,6 @@ func (e *Engine) Repair(inst *bitset.Set, added int, approved *bitset.Set) {
 				}
 			}
 			if removable == 0 {
-				// Unrepairable without touching protected members: drop
-				// the newly added correspondence.
 				inst.Remove(added)
 				return
 			}
@@ -189,13 +409,28 @@ func (e *Engine) Repair(inst *bitset.Set, added int, approved *bitset.Set) {
 }
 
 // ViolationCount returns the number of distinct violations among the
-// members of inst; used to reproduce Table III.
+// members of inst; used to reproduce Table III. Deduplication hashes the
+// (kind, sorted members) fingerprint and compares violations only on
+// collision, instead of allocating a string key per violation.
 func (e *Engine) ViolationCount(inst *bitset.Set) int {
-	seen := make(map[string]bool)
-	for _, v := range e.Violations(inst) {
-		seen[v.Key()] = true
+	viols := e.Violations(inst)
+	seen := make(map[uint64][]Violation, len(viols))
+	count := 0
+	for _, v := range viols {
+		fp := v.fingerprint()
+		dup := false
+		for _, w := range seen[fp] {
+			if v.equal(w) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[fp] = append(seen[fp], v)
+			count++
+		}
 	}
-	return len(seen)
+	return count
 }
 
 // FullInstance returns the instance containing every candidate; with

@@ -46,6 +46,31 @@ func NewMutualExclusion(net *schema.Network, pairs [][2]schema.AttrID) *MutualEx
 // Name implements Constraint.
 func (m *MutualExclusion) Name() string { return KindMutex }
 
+// Compile implements Constraint. Like one-to-one the constraint is
+// purely pairwise: row[c] holds every candidate covering the other side
+// of an exclusive attribute pair touched by c.
+func (m *MutualExclusion) Compile() Compiled {
+	n := m.net.NumCandidates()
+	rows := make([]*bitset.Set, n)
+	for c := 0; c < n; c++ {
+		cand := m.net.Candidate(c)
+		for _, a := range [2]schema.AttrID{cand.A, cand.B} {
+			for b := range m.exclusive[a] {
+				for _, d := range m.net.CandidatesOf(b) {
+					if d == c {
+						continue
+					}
+					if rows[c] == nil {
+						rows[c] = bitset.New(n)
+					}
+					rows[c].Add(d)
+				}
+			}
+		}
+	}
+	return Compiled{ConflictRows: rows}
+}
+
 // conflictPartners calls fn for every inst member that, together with
 // candidate c, covers an exclusive attribute pair. fn returning false
 // stops the scan.

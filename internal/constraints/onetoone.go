@@ -24,6 +24,34 @@ func NewOneToOne(net *schema.Network) *OneToOne {
 // Name implements Constraint.
 func (o *OneToOne) Name() string { return KindOneToOne }
 
+// Compile implements Constraint. The constraint is purely pairwise, so
+// it emits the full conflict adjacency: row[c] holds every candidate
+// that shares an attribute with c and maps it into the same schema —
+// the conflictPartners predicate evaluated once against the whole
+// candidate universe instead of per instance.
+func (o *OneToOne) Compile() Compiled {
+	n := o.net.NumCandidates()
+	rows := make([]*bitset.Set, n)
+	for c := 0; c < n; c++ {
+		cand := o.net.Candidate(c)
+		for _, shared := range [2]schema.AttrID{cand.A, cand.B} {
+			otherSchema := o.net.SchemaOf(o.net.Other(c, shared))
+			for _, d := range o.net.CandidatesOf(shared) {
+				if d == c {
+					continue
+				}
+				if o.net.SchemaOf(o.net.Other(d, shared)) == otherSchema {
+					if rows[c] == nil {
+						rows[c] = bitset.New(n)
+					}
+					rows[c].Add(d)
+				}
+			}
+		}
+	}
+	return Compiled{ConflictRows: rows}
+}
+
 // conflictPartners calls fn for every inst member that pairwise-conflicts
 // with candidate c; it stops early if fn returns false.
 func (o *OneToOne) conflictPartners(inst *bitset.Set, c int, fn func(d int) bool) {

@@ -91,34 +91,36 @@ func rouletteWheel(pool []int, probs []float64, rng *rand.Rand) int {
 	return pool[len(pool)-1]
 }
 
-// tabuQueue is the fixed-size forbidden list of Algorithm 2.
+// tabuQueue is the fixed-size forbidden list of Algorithm 2. Membership
+// is a bitset so the local search can subtract the whole queue from its
+// candidate pool with one word-wise pass.
 type tabuQueue struct {
 	items []int
-	set   map[int]bool
+	set   *bitset.Set
 	size  int
 }
 
-func newTabuQueue(size int) *tabuQueue {
-	return &tabuQueue{set: make(map[int]bool), size: size}
+func newTabuQueue(size, n int) *tabuQueue {
+	return &tabuQueue{set: bitset.New(n), size: size}
 }
 
 func (q *tabuQueue) add(c int) {
 	if q.size <= 0 {
 		return
 	}
-	if q.set[c] {
+	if q.set.Has(c) {
 		return
 	}
 	q.items = append(q.items, c)
-	q.set[c] = true
+	q.set.Add(c)
 	if len(q.items) > q.size {
 		old := q.items[0]
 		q.items = q.items[1:]
-		delete(q.set, old)
+		q.set.Remove(old)
 	}
 }
 
-func (q *tabuQueue) has(c int) bool { return q.set[c] }
+func (q *tabuQueue) has(c int) bool { return q.set.Has(c) }
 
 // Heuristic runs Algorithm 2 and returns the best matching instance
 // found: consistent, respecting the feedback, with near-minimal repair
@@ -152,21 +154,25 @@ func Heuristic(e *constraints.Engine, store *sampling.Store, probs []float64,
 	}
 	best = best.Clone()
 
-	// Step 2: randomized local search with tabu.
+	// Step 2: randomized local search with tabu. The pool C \ I \ F− \
+	// tabu is built as a mask (word-wise set subtraction) and expanded in
+	// ascending order, matching the old per-candidate scan.
 	cur := best.Clone()
-	tabu := newTabuQueue(cfg.TabuSize)
+	tabu := newTabuQueue(cfg.TabuSize, n)
 	pool := make([]int, 0, n)
+	free := bitset.New(n)
 	for i := 0; i < cfg.Iterations; i++ {
-		pool = pool[:0]
-		for c := 0; c < n; c++ {
-			if cur.Has(c) || tabu.has(c) {
-				continue
-			}
-			if disapproved != nil && disapproved.Has(c) {
-				continue
-			}
-			pool = append(pool, c)
+		free.SetAll()
+		free.DifferenceWith(cur)
+		free.DifferenceWith(tabu.set)
+		if disapproved != nil {
+			free.DifferenceWith(disapproved)
 		}
+		pool = pool[:0]
+		free.ForEach(func(c int) bool {
+			pool = append(pool, c)
+			return true
+		})
 		c := rouletteWheel(pool, probs, rng)
 		if c < 0 {
 			break

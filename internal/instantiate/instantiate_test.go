@@ -294,7 +294,7 @@ func TestHeuristicContradictoryApprovals(t *testing.T) {
 }
 
 func TestTabuQueue(t *testing.T) {
-	q := newTabuQueue(2)
+	q := newTabuQueue(2, 16)
 	q.add(1)
 	q.add(2)
 	if !q.has(1) || !q.has(2) {
@@ -312,7 +312,7 @@ func TestTabuQueue(t *testing.T) {
 		t.Fatal("duplicate add evicted an entry")
 	}
 	// Size 0 disables.
-	q0 := newTabuQueue(0)
+	q0 := newTabuQueue(0, 16)
 	q0.add(9)
 	if q0.has(9) {
 		t.Fatal("zero-size tabu should be disabled")

@@ -46,10 +46,10 @@ func DefaultConfig() Config {
 // A Sampler is not safe for concurrent use (it owns an rng and reuses
 // walk scratch buffers).
 type Sampler struct {
-	engine  *constraints.Engine
-	cfg     Config
-	rng     *rand.Rand
-	freeBuf []int // scratch for freeCandidates, reused across walk steps
+	engine   *constraints.Engine
+	cfg      Config
+	rng      *rand.Rand
+	freeMask *bitset.Set // scratch: C \ F− \ I as a mask, reused across walk steps
 }
 
 // NewSampler builds a sampler. rng must not be nil.
@@ -66,23 +66,21 @@ func NewSampler(engine *constraints.Engine, cfg Config, rng *rand.Rand) *Sampler
 // Config returns the sampler's configuration.
 func (s *Sampler) Config() Config { return s.cfg }
 
-// freeCandidates returns C \ F− \ I, the candidates eligible for a walk
-// move. The returned slice aliases the sampler's scratch buffer and is
-// valid only until the next call.
-func (s *Sampler) freeCandidates(inst, disapproved *bitset.Set) []int {
-	n := s.engine.Network().NumCandidates()
-	if cap(s.freeBuf) < n {
-		s.freeBuf = make([]int, 0, n)
+// freeCandidates recomputes the sampler's free mask C \ F− \ I — the
+// candidates eligible for a walk move — as three word-wise passes over
+// the scratch bitset and returns its population count. A uniform move is
+// then freeMask.NthMember(rng.Intn(count)): the same candidate the old
+// slice-based scan would have picked, without the O(C) append loop.
+func (s *Sampler) freeCandidates(inst, disapproved *bitset.Set) int {
+	if s.freeMask == nil {
+		s.freeMask = s.engine.NewInstance()
 	}
-	out := s.freeBuf[:0]
-	for c := 0; c < n; c++ {
-		if inst.Has(c) || (disapproved != nil && disapproved.Has(c)) {
-			continue
-		}
-		out = append(out, c)
+	s.freeMask.SetAll()
+	s.freeMask.DifferenceWith(inst)
+	if disapproved != nil {
+		s.freeMask.DifferenceWith(disapproved)
 	}
-	s.freeBuf = out
-	return out
+	return s.freeMask.Count()
 }
 
 // SampleInto runs Algorithm 3 for n emitted samples, adding each to the
@@ -114,11 +112,11 @@ func (s *Sampler) SampleInto(store *Store, approved, disapproved *bitset.Set, n 
 			next = cur.Clone()
 		}
 		for j := 0; j < s.cfg.WalkSteps; j++ {
-			free := s.freeCandidates(cur, disapproved)
-			if len(free) == 0 {
+			nFree := s.freeCandidates(cur, disapproved)
+			if nFree == 0 {
 				break
 			}
-			c := free[s.rng.Intn(len(free))]
+			c := s.freeMask.NthMember(s.rng.Intn(nFree))
 			next.CopyFrom(cur)
 			s.engine.Repair(next, c, approved)
 			if s.cfg.Maximize {

@@ -136,6 +136,12 @@ type Options struct {
 	// together (a custom MutualExclusion constraint on top of the
 	// paper's Γ).
 	ExclusivePairs [][2]AttrID
+	// InterpretedConstraints switches the session to the interpreted
+	// reference constraint engine instead of the compiled conflict index
+	// (see DESIGN.md, "Compiled conflict index"). The two are
+	// equivalent; the interpreted path exists for debugging and
+	// differential testing and is markedly slower.
+	InterpretedConstraints bool
 	// Seed makes the session deterministic.
 	Seed int64
 }
@@ -186,7 +192,11 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 	if len(cons) == 0 {
 		return nil, fmt.Errorf("schemanet: at least one constraint is required")
 	}
-	engine := constraints.NewEngine(net, cons...)
+	newEngine := constraints.NewEngine
+	if o.InterpretedConstraints {
+		newEngine = constraints.NewInterpreted
+	}
+	engine := newEngine(net, cons...)
 
 	var strat core.Strategy
 	switch o.Strategy {
