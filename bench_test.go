@@ -59,8 +59,12 @@ func BenchmarkRobust(b *testing.B)   { runExperiment(b, "robust") }
 // benchDataset builds a synthetic dataset with the given candidate
 // count for micro-benchmarks.
 func benchDataset(b *testing.B, size int) (*schema.Dataset, *rand.Rand) {
+	return benchDatasetSeeded(b, size, 42)
+}
+
+func benchDatasetSeeded(b *testing.B, size int, seed int64) (*schema.Dataset, *rand.Rand) {
 	b.Helper()
-	rng := rand.New(rand.NewSource(42))
+	rng := rand.New(rand.NewSource(seed))
 	attrs := size / 16
 	if attrs < 12 {
 		attrs = 12
@@ -76,6 +80,45 @@ func benchDataset(b *testing.B, size int) (*schema.Dataset, *rand.Rand) {
 		b.Fatal(err)
 	}
 	return d, rng
+}
+
+// benchMultiComponentDataset merges `groups` independently generated
+// sub-networks (no interaction edges across groups) into one dataset,
+// so the resulting network decomposes into at least `groups`
+// constraint-connected components of ~size/groups candidates each.
+func benchMultiComponentDataset(b *testing.B, size, groups int) *schema.Dataset {
+	b.Helper()
+	bld := schema.NewBuilder()
+	truth := schema.NewMatching()
+	attrBase := 0
+	schemaBase := 0
+	for g := 0; g < groups; g++ {
+		d, _ := benchDatasetSeeded(b, size/groups, int64(42+g*13))
+		sub := d.Network
+		for _, sch := range sub.Schemas() {
+			names := make([]string, len(sch.Attrs))
+			for i, a := range sch.Attrs {
+				names[i] = sub.AttrName(a)
+			}
+			bld.AddSchema(fmt.Sprintf("g%d_%s", g, sch.Name), names...)
+		}
+		for _, e := range sub.Interaction().Edges() {
+			bld.Connect(schema.SchemaID(schemaBase+e.U), schema.SchemaID(schemaBase+e.V))
+		}
+		for _, c := range sub.Candidates() {
+			bld.AddCorrespondence(schema.AttrID(attrBase)+c.A, schema.AttrID(attrBase)+c.B, c.Confidence)
+		}
+		for _, p := range d.GroundTruth.Pairs() {
+			truth.Add(schema.AttrID(attrBase)+p[0], schema.AttrID(attrBase)+p[1])
+		}
+		attrBase += sub.NumAttributes()
+		schemaBase += sub.NumSchemas()
+	}
+	net, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &schema.Dataset{Network: net, GroundTruth: truth}
 }
 
 // benchNetwork builds a synthetic network with the given candidate
@@ -145,8 +188,11 @@ func BenchmarkMaximize(b *testing.B) {
 	})
 }
 
-// BenchmarkInformationGain measures one full IG ranking pass (the
-// per-step cost of the Heuristic strategy) at several network sizes.
+// BenchmarkInformationGain measures one full (cold) IG ranking pass at
+// several network sizes: the cache is invalidated every iteration, so
+// the number stays comparable with the pre-cache measurements. In a
+// live session only the asserted component re-ranks per step; the
+// SessionAssert benchmarks capture that amortized cost.
 func BenchmarkInformationGain(b *testing.B) {
 	for _, size := range []int{128, 256, 512, 2048} {
 		b.Run(benchName(size), func(b *testing.B) {
@@ -154,6 +200,7 @@ func BenchmarkInformationGain(b *testing.B) {
 			pmn := core.New(e, core.DefaultConfig(), rng)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				pmn.InvalidateGains()
 				_ = pmn.InformationGains()
 			}
 		})
@@ -191,9 +238,15 @@ func BenchmarkMatcher(b *testing.B) {
 // reusing the session across iterations and recreating it (off the
 // clock) only when its candidates are exhausted.
 func benchSessionAssert(b *testing.B, d *schemanet.Dataset, net *schemanet.Network) {
+	benchSessionAssertOpts(b, d, net, schemanet.Options{})
+}
+
+func benchSessionAssertOpts(b *testing.B, d *schemanet.Dataset, net *schemanet.Network, opts schemanet.Options) {
 	b.Helper()
 	newSession := func(seed int64) *schemanet.Session {
-		s, err := schemanet.NewSession(net, &schemanet.Options{Seed: seed})
+		o := opts
+		o.Seed = seed
+		s, err := schemanet.NewSession(net, &o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,6 +280,35 @@ func BenchmarkSessionAssert(b *testing.B) {
 			d, _ := benchDataset(b, size)
 			benchSessionAssert(b, d, d.Network)
 		})
+	}
+}
+
+// BenchmarkSessionAssertMultiComp measures the suggest+assert step on a
+// multi-component network (≥4 constraint-connected components), with
+// component decomposition on (default) and off (Options.Monolithic) —
+// the head-to-head the component-decomposed PMN is built for: an
+// assertion pays O(component), not O(network).
+func BenchmarkSessionAssertMultiComp(b *testing.B) {
+	for _, size := range []int{512, 2048} {
+		d := benchMultiComponentDataset(b, size, 4)
+		s, err := schemanet.NewSession(d.Network, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Components() < 4 {
+			b.Fatalf("merged network has %d components, want ≥ 4", s.Components())
+		}
+		for _, mode := range []struct {
+			name string
+			opts schemanet.Options
+		}{
+			{"decomposed", schemanet.Options{}},
+			{"monolithic", schemanet.Options{Monolithic: true}},
+		} {
+			b.Run(fmt.Sprintf("C=%d/comps=%d/%s", size, s.Components(), mode.name), func(b *testing.B) {
+				benchSessionAssertOpts(b, d, d.Network, mode.opts)
+			})
+		}
 	}
 }
 

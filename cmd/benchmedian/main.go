@@ -1,0 +1,120 @@
+// Command benchmedian reads `go test -bench` output (typically produced
+// with -count=N) on stdin and prints, per benchmark, the median of each
+// reported metric (ns/op, B/op, allocs/op, and any custom unit). The
+// SessionAssert benchmarks are high-variance — resampling rounds land
+// on some iterations and not others — so single -count=1 numbers are
+// noise; medians over -count=3 (see `make bench-smoke`) are what belong
+// in a comparison table.
+//
+//	go test -run '^$' -bench . -benchmem -count 3 . | go run ./cmd/benchmedian
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+type series struct {
+	name    string
+	units   []string             // unit order of first appearance
+	samples map[string][]float64 // unit -> values across runs
+	iters   []float64
+}
+
+func main() {
+	var order []string
+	byName := make(map[string]*series)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			// Pass through context lines (goos/goarch/cpu, PASS/FAIL).
+			fmt.Println(line)
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines look like:
+		//   BenchmarkName-8  iters  value unit  [value unit ...]
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			fmt.Println(line)
+			continue
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			fmt.Println(line)
+			continue
+		}
+		name := fields[0]
+		s := byName[name]
+		if s == nil {
+			s = &series{name: name, samples: make(map[string][]float64)}
+			byName[name] = s
+			order = append(order, name)
+		}
+		s.iters = append(s.iters, iters)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if _, seen := s.samples[unit]; !seen {
+				s.units = append(s.units, unit)
+			}
+			s.samples[unit] = append(s.samples[unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmedian:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		return
+	}
+
+	fmt.Println()
+	fmt.Println("medians:")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	for _, name := range order {
+		s := byName[name]
+		fmt.Fprintf(tw, "%s\truns=%d", s.name, len(s.iters))
+		for _, unit := range s.units {
+			fmt.Fprintf(tw, "\t%s %s", formatValue(median(s.samples[unit])), unit)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// formatValue renders like the go benchmark output: integers without
+// decimals, small values with a few.
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)):
+		return strconv.FormatInt(int64(v), 10)
+	case v >= 100:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+}

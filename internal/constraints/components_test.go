@@ -1,0 +1,173 @@
+package constraints
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemanet/internal/datagen"
+	"schemanet/internal/schema"
+)
+
+// twoTriangleNet builds two disconnected copies of the video-network
+// triangle: six schemas, interaction edges only within each triple, ten
+// candidates — five per triangle.
+func twoTriangleNet(t testing.TB) *schema.Network {
+	t.Helper()
+	b := schema.NewBuilder()
+	for g := 0; g < 2; g++ {
+		prefix := string(rune('A' + g))
+		s1 := b.AddSchema(prefix+"EoverI", "productionDate")
+		s2 := b.AddSchema(prefix+"BBC", "date")
+		s3 := b.AddSchema(prefix+"DVDizzy", "releaseDate", "screenDate")
+		b.Connect(s1, s2)
+		b.Connect(s2, s3)
+		b.Connect(s1, s3)
+		base := schema.AttrID(g * 4)
+		b.AddCorrespondence(base+0, base+1, 0.9)
+		b.AddCorrespondence(base+1, base+2, 0.8)
+		b.AddCorrespondence(base+0, base+2, 0.7)
+		b.AddCorrespondence(base+1, base+3, 0.6)
+		b.AddCorrespondence(base+0, base+3, 0.5)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestComponentsVideoNetSingle(t *testing.T) {
+	v := buildVideoNet(t)
+	parts := Default(v.net).Components()
+	if got := parts.NumComponents(); got != 1 {
+		t.Fatalf("video network components = %d, want 1 (triangle couples everything)", got)
+	}
+	if !parts.Trivial() {
+		t.Fatal("single component must report Trivial")
+	}
+}
+
+func TestComponentsTwoTriangles(t *testing.T) {
+	net := twoTriangleNet(t)
+	parts := Default(net).Components()
+	if got := parts.NumComponents(); got != 2 {
+		t.Fatalf("components = %d, want 2 (disconnected triangles)", got)
+	}
+	if parts.NumCandidates() != net.NumCandidates() {
+		t.Fatalf("partition universe = %d, want %d", parts.NumCandidates(), net.NumCandidates())
+	}
+	for k := 0; k < 2; k++ {
+		if got := len(parts.Members(k)); got != 5 {
+			t.Fatalf("component %d has %d members, want 5", k, got)
+		}
+	}
+	// Components are ordered by smallest member and members are ascending.
+	if parts.Members(0)[0] != 0 || parts.Members(1)[0] != 5 {
+		t.Fatalf("component ordering wrong: %v / %v", parts.Members(0), parts.Members(1))
+	}
+	for c := 0; c < 5; c++ {
+		if parts.ComponentOf(c) != 0 || parts.ComponentOf(c+5) != 1 {
+			t.Fatalf("candidate-to-component map wrong at %d", c)
+		}
+	}
+}
+
+func TestComponentsInterpretedTrivial(t *testing.T) {
+	net := twoTriangleNet(t)
+	parts := DefaultInterpreted(net).Components()
+	if !parts.Trivial() {
+		t.Fatal("interpreted engine must fall back to the trivial partition")
+	}
+}
+
+// residualConstraint compiles to neither shape, forcing the residual
+// path of the conflict index.
+type residualConstraint struct{ Constraint }
+
+func (residualConstraint) Compile() Compiled { return Compiled{} }
+
+func TestComponentsResidualTrivial(t *testing.T) {
+	net := twoTriangleNet(t)
+	e := NewEngine(net, NewOneToOne(net), residualConstraint{NewCycle(net, DefaultMaxCycleLen)})
+	parts := e.Components()
+	if !parts.Trivial() {
+		t.Fatal("residual constraints must force the trivial partition")
+	}
+}
+
+// TestComponentsCoverViolations is the safety property the decomposed
+// PMN relies on: on random networks, every violation of every sampled
+// instance (and of the full instance) lies inside one component.
+func TestComponentsCoverViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		d, err := datagen.SyntheticNetwork(datagen.Scale(datagen.BP(), 0.3),
+			datagen.DefaultSyntheticOpts(70), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := Default(d.Network)
+		parts := e.Components()
+		check := func(v Violation) {
+			k := parts.ComponentOf(v.Cands[0])
+			for _, c := range v.Cands[1:] {
+				if parts.ComponentOf(c) != k {
+					t.Fatalf("trial %d: violation %v spans components %d and %d",
+						trial, v.Cands, k, parts.ComponentOf(c))
+				}
+			}
+		}
+		for _, v := range e.Violations(e.FullInstance()) {
+			check(v)
+		}
+		// Random subsets exercise ConflictsWith-driven violations too.
+		inst := e.NewInstance()
+		for c := 0; c < d.Network.NumCandidates(); c++ {
+			if rng.Intn(2) == 0 {
+				inst.Add(c)
+			}
+		}
+		for c := 0; c < d.Network.NumCandidates(); c++ {
+			for _, v := range e.ConflictsWith(inst, c) {
+				check(v)
+			}
+		}
+	}
+}
+
+// TestComponentsFactorizeMaximize: with a deterministic visit order,
+// global Maximize equals the union of per-component Maximize runs
+// restricted by excluding the complement — the factorization the
+// component-restricted sampler walk builds on.
+func TestComponentsFactorizeMaximize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, err := datagen.SyntheticNetwork(datagen.Scale(datagen.BP(), 0.3),
+		datagen.DefaultSyntheticOpts(80), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Default(d.Network)
+	parts := e.Components()
+	if parts.Trivial() {
+		t.Skip("generated network has a single component; factorization is vacuous")
+	}
+	n := d.Network.NumCandidates()
+
+	global := e.NewInstance()
+	e.Maximize(global, nil, nil)
+
+	union := e.NewInstance()
+	for k := 0; k < parts.NumComponents(); k++ {
+		mask := FromIndicesFor(d.Network, parts.Members(k)...)
+		notMask := mask.Clone()
+		notMask.SetAll()
+		notMask.DifferenceWith(mask)
+		sub := e.NewInstance()
+		e.Maximize(sub, notMask, nil)
+		union.UnionWith(sub)
+	}
+	if !global.Equal(union) {
+		t.Fatalf("global Maximize %v != union of per-component Maximize %v (n=%d)",
+			global, union, n)
+	}
+}

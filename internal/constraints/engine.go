@@ -176,6 +176,23 @@ func (e *Engine) visitOrder(rng *rand.Rand) []int {
 	return order
 }
 
+// memberOrder is visitOrder over an explicit candidate subset — the
+// component-restricted walk visits (and shuffles) only the component's
+// members, keeping the saturation pass O(component) instead of paying
+// an O(|C|) shuffle per walk step.
+func (e *Engine) memberOrder(members []int, rng *rand.Rand) []int {
+	m := len(members)
+	if cap(e.order) < m {
+		e.order = make([]int, m)
+	}
+	order := e.order[:m]
+	copy(order, members)
+	if rng != nil {
+		rng.Shuffle(m, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	return order
+}
+
 // Maximize greedily saturates inst: candidates outside inst and excluded
 // are visited in random order (deterministic ascending order when rng is
 // nil) and added whenever consistent. Since the constraints are
@@ -187,7 +204,25 @@ func (e *Engine) visitOrder(rng *rand.Rand) []int {
 // of its conflict row; only gate-passing candidates reach an interpreted
 // check.
 func (e *Engine) Maximize(inst, excluded *bitset.Set, rng *rand.Rand) {
-	order := e.visitOrder(rng)
+	e.maximizeOrder(inst, excluded, e.visitOrder(rng))
+}
+
+// MaximizeWithin is Maximize restricted to the given candidate subset
+// (typically one constraint-connected component): only members are
+// visited — in random order when rng is non-nil — and only the member
+// shuffle is paid. A nil members slice means no restriction (plain
+// Maximize), so restricted call sites need no branching. Callers
+// remain responsible for the excluded set; passing excluded ⊇ ¬members
+// makes the result a maximal instance of the member sub-universe.
+func (e *Engine) MaximizeWithin(inst, excluded *bitset.Set, members []int, rng *rand.Rand) {
+	if members == nil {
+		e.maximizeOrder(inst, excluded, e.visitOrder(rng))
+		return
+	}
+	e.maximizeOrder(inst, excluded, e.memberOrder(members, rng))
+}
+
+func (e *Engine) maximizeOrder(inst, excluded *bitset.Set, order []int) {
 	if e.idx == nil {
 		for _, c := range order {
 			if inst.Has(c) || (excluded != nil && excluded.Has(c)) {

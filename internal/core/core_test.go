@@ -472,9 +472,13 @@ func TestResamplingKeepsStoreUsable(t *testing.T) {
 	}
 	steps := Reconcile(p, o, InfoGainStrategy{}, FullGoal(),
 		rand.New(rand.NewSource(57)), func(s StepInfo) {
-			if len(p.Uncertain()) > 0 && p.Store().Size() == 0 {
-				t.Fatalf("step %d: store empty while %d candidates uncertain",
-					s.Step, len(p.Uncertain()))
+			// The invariant is per component now: while a component has
+			// uncertain members, its store must hold instances.
+			for _, c := range p.Uncertain() {
+				if p.ComponentStore(p.ComponentOf(c)).Size() == 0 {
+					t.Fatalf("step %d: component %d store empty while candidate %d uncertain",
+						s.Step, p.ComponentOf(c), c)
+				}
 			}
 		})
 	if steps != d.Network.NumCandidates() {

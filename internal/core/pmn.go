@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
+	"schemanet/internal/bitset"
 	"schemanet/internal/constraints"
 	"schemanet/internal/sampling"
 	"schemanet/internal/schema"
@@ -14,16 +16,26 @@ type Config struct {
 	// Sampler configures the non-uniform sampler (§III-B).
 	Sampler sampling.Config
 	// Samples is the number of walk emissions per (re)sampling round.
+	// In a decomposed PMN each component gets a full round of its own.
 	Samples int
 	// Exact switches to exhaustive enumeration of matching instances
-	// (Equation 1); only feasible for small candidate sets.
+	// (Equation 1); only feasible for small candidate sets (small
+	// components, in a decomposed PMN).
 	Exact bool
-	// ExactLimit caps enumeration when Exact is set (0 = no cap).
+	// ExactLimit caps enumeration when Exact is set (0 = no cap). In a
+	// decomposed PMN the cap applies per component; a component that
+	// overflows falls back to sampling on its own.
 	ExactLimit int
 	// Workers bounds the goroutines of the information-gain ranking
 	// pass (InformationGains). 0 means runtime.GOMAXPROCS(0); 1 forces
 	// a sequential pass.
 	Workers int
+	// Monolithic disables component decomposition: the whole network is
+	// one sample space, as in the paper's Algorithm 1. The decomposed
+	// and monolithic paths are equivalent (identical probabilities under
+	// Exact, statistically equivalent estimates when sampling); the
+	// switch exists for differential testing and debugging.
+	Monolithic bool
 }
 
 // DefaultConfig returns the sampling-based configuration used by the
@@ -32,19 +44,51 @@ func DefaultConfig() Config {
 	return Config{Sampler: sampling.DefaultConfig(), Samples: 500}
 }
 
+// component is one constraint-connected component of the PMN: its own
+// sample space Ω_k, sampler, and cached entropy term. Constraints never
+// couple candidates across components, so probabilities and entropies
+// factorize — H(C, P) = Σ_k H_k — and an assertion view-maintains and
+// resamples only its own component (see DESIGN.md, "Component
+// decomposition").
+type component struct {
+	members  []int          // global candidate ids, ascending; nil = whole universe
+	mask     *bitset.Set    // members as a mask; nil = whole universe
+	sampler  *sampling.Sampler
+	store    *sampling.Store
+	exactAll bool    // probabilities come from exhaustive enumeration
+	entropy  float64 // cached H_k = Σ_{c ∈ members} H(p_c)
+}
+
 // PMN is a probabilistic matching network ⟨N, P⟩: a network of schemas
 // with constraints plus a probability for every candidate correspondence
 // (§II-B). The probabilities are maintained incrementally as expert
 // assertions arrive (pay-as-you-go).
+//
+// The PMN is decomposed along the constraint-connectivity partition of
+// the candidate set (Engine.Components): each component keeps its own
+// sample store, an assertion only ever pays for its own component —
+// view maintenance, resampling, and probability recomputation are
+// O(component), not O(network) — and the network entropy is the sum of
+// cached per-component terms. Config.Monolithic restores the single
+// global sample space.
 type PMN struct {
-	engine   *constraints.Engine
-	cfg      Config
-	rng      *rand.Rand
-	sampler  *sampling.Sampler
-	store    *sampling.Store
-	feedback *Feedback
-	probs    []float64
-	exactAll bool // probabilities come from exhaustive enumeration
+	engine    *constraints.Engine
+	cfg       Config
+	rng       *rand.Rand
+	feedback  *Feedback
+	comps     []*component
+	compOf    []int   // candidate -> index into comps
+	localIdx  []int32 // candidate -> column index inside its component's store
+	probs     []float64
+	maxComp   int // size of the largest component (scratch sizing)
+	resamples int // post-construction refill rounds (observability)
+
+	// gains caches IG(c) per candidate. Information gain is
+	// component-local (see InformationGain), so an assertion staleness-
+	// marks only its own component and the ranking pass re-ranks just
+	// that component's members — the others' cached gains stay valid.
+	gains      []float64
+	gainsStale []bool // per component
 }
 
 // New builds a probabilistic matching network and computes the initial
@@ -58,12 +102,65 @@ func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
 		engine:   engine,
 		cfg:      cfg,
 		rng:      rng,
-		sampler:  sampling.NewSampler(engine, cfg.Sampler, rng),
 		feedback: NewFeedback(n),
+		probs:    make([]float64, n),
 	}
-	p.store = sampling.NewStore(n, p.sampler.Config().NMin)
-	p.refill()
-	p.recompute()
+
+	parts := engine.Components()
+	if cfg.Monolithic || parts.Trivial() {
+		// One component covering the whole universe: nil members/mask
+		// select the unrestricted code paths everywhere, and the shared
+		// session rng keeps the sampling stream identical to the
+		// pre-decomposition implementation.
+		smp := sampling.NewSampler(engine, cfg.Sampler, rng)
+		c := &component{
+			sampler: smp,
+			store:   sampling.NewStore(n, smp.Config().NMin),
+		}
+		p.comps = []*component{c}
+		p.compOf = make([]int, n)
+		p.localIdx = nil
+		p.maxComp = n
+	} else {
+		p.compOf = make([]int, n)
+		p.localIdx = make([]int32, n)
+		p.comps = make([]*component, parts.NumComponents())
+		for k := 0; k < parts.NumComponents(); k++ {
+			members := parts.Members(k)
+			for j, c := range members {
+				p.compOf[c] = k
+				p.localIdx[c] = int32(j)
+			}
+			if len(members) > p.maxComp {
+				p.maxComp = len(members)
+			}
+			// Each component samples from its own deterministic stream, so
+			// resampling one component never perturbs the others' draws.
+			crng := rand.New(rand.NewSource(rng.Int63()))
+			scfg := cfg.Sampler
+			if scfg.StagnationLimit == 0 {
+				// Unset: a small component's instance space saturates in a
+				// few dozen emissions; cap the duplicates a round may burn
+				// before concluding the round is done. Negative keeps early
+				// stopping disabled (see sampling.Config.StagnationLimit).
+				scfg.StagnationLimit = 8*len(members) + 128
+			}
+			smp := sampling.NewSampler(engine, scfg, crng)
+			p.comps[k] = &component{
+				members: members,
+				mask:    bitset.FromIndices(n, members...),
+				sampler: smp,
+				store:   sampling.NewComponentStore(n, smp.Config().NMin, members, p.localIdx),
+			}
+		}
+	}
+
+	p.gains = make([]float64, n)
+	p.gainsStale = make([]bool, len(p.comps))
+	for k := range p.comps {
+		p.refillComp(k)
+		p.recomputeComp(k)
+	}
 	return p
 }
 
@@ -73,54 +170,139 @@ func (p *PMN) Network() *schema.Network { return p.engine.Network() }
 // Engine returns the constraint engine (Γ bound to N).
 func (p *PMN) Engine() *constraints.Engine { return p.engine }
 
-// Store returns the current sample set Ω*.
-func (p *PMN) Store() *sampling.Store { return p.store }
+// NumComponents returns the number of constraint-connected components
+// the PMN is decomposed into (1 when monolithic).
+func (p *PMN) NumComponents() int { return len(p.comps) }
+
+// ComponentOf returns the component index of candidate c.
+func (p *PMN) ComponentOf(c int) int { return p.compOf[c] }
+
+// ComponentStore returns component k's sample set Ω*_k.
+func (p *PMN) ComponentStore(k int) *sampling.Store { return p.comps[k].store }
+
+// ComponentStores returns the per-component sample sets in component
+// order. The slice is freshly allocated; the stores are live.
+func (p *PMN) ComponentStores() []*sampling.Store {
+	out := make([]*sampling.Store, len(p.comps))
+	for k, c := range p.comps {
+		out[k] = c.store
+	}
+	return out
+}
+
+// ComponentMasks returns the per-component member masks in component
+// order; a nil entry means the component covers the whole universe.
+// The masks must not be mutated.
+func (p *PMN) ComponentMasks() []*bitset.Set {
+	out := make([]*bitset.Set, len(p.comps))
+	for k, c := range p.comps {
+		out[k] = c.mask
+	}
+	return out
+}
+
+// Store returns the sample set Ω* when the PMN consists of a single
+// component (always true under Config.Monolithic) and nil otherwise —
+// a decomposed PMN has one store per component; use ComponentStores.
+func (p *PMN) Store() *sampling.Store {
+	if len(p.comps) == 1 {
+		return p.comps[0].store
+	}
+	return nil
+}
 
 // Feedback returns the user input collected so far.
 func (p *PMN) Feedback() *Feedback { return p.feedback }
 
-// refill populates the store per §III-B: for the exact configuration it
-// enumerates all instances; otherwise it samples, and if after two
-// consecutive samplings the store is still below n_min, it concludes
-// that all matching instances have been generated (Ω* = Ω).
-func (p *PMN) refill() {
-	if p.cfg.Exact {
-		instances, err := sampling.EnumerateAll(
-			p.engine, p.feedback.Approved(), p.feedback.Disapproved(), p.cfg.ExactLimit)
-		if err == nil {
-			p.store = sampling.NewStore(p.Network().NumCandidates(), p.sampler.Config().NMin)
-			for _, inst := range instances {
-				p.store.Add(inst)
-			}
-			p.store.MarkComplete()
-			p.exactAll = true
-			return
-		}
-		// Enumeration overflowed the limit: fall back to sampling.
-		p.exactAll = false
-	}
-	for round := 0; round < 2 && p.store.NeedsResample(); round++ {
-		p.sampler.SampleInto(p.store, p.feedback.Approved(), p.feedback.Disapproved(), p.cfg.Samples)
-	}
-	if p.store.NeedsResample() {
-		// Two consecutive samplings could not reach n_min: the actual
-		// number of matching instances is below n_min and the store
-		// holds all of them.
-		p.store.MarkComplete()
+// InvalidateGains marks every component's cached information gains
+// stale, forcing the next InformationGains call to re-rank the whole
+// network. Normal operation never needs this — assertions invalidate
+// their own component — it exists so benchmarks and tests can measure
+// or exercise a full cold ranking pass.
+func (p *PMN) InvalidateGains() {
+	for k := range p.gainsStale {
+		p.gainsStale[k] = true
 	}
 }
 
-// recompute refreshes P from the store, overriding asserted candidates
-// with 1/0 (assertions are always right, §II-B).
-func (p *PMN) recompute() {
-	p.probs = p.store.Probabilities()
-	for _, a := range p.feedback.History() {
-		if a.Approved {
-			p.probs[a.Cand] = 1
-		} else {
-			p.probs[a.Cand] = 0
+// Resamples returns the number of post-construction refill rounds
+// (component-scoped; one batch assertion triggers at most one per
+// touched component). Tests and diagnostics use it to verify that
+// session replay does not resample per history entry.
+func (p *PMN) Resamples() int { return p.resamples }
+
+// refillComp populates component k's store per §III-B: for the exact
+// configuration it enumerates the component's instances; otherwise it
+// samples, and if after two consecutive samplings the store is still
+// below n_min, it concludes that all of the component's matching
+// instances have been generated (Ω*_k = Ω_k).
+func (p *PMN) refillComp(k int) {
+	c := p.comps[k]
+	if p.cfg.Exact {
+		instances, err := sampling.EnumerateWithin(
+			p.engine, p.feedback.Approved(), p.feedback.Disapproved(), c.mask, p.cfg.ExactLimit)
+		if err == nil {
+			n := p.Network().NumCandidates()
+			nmin := c.sampler.Config().NMin
+			if c.members == nil {
+				c.store = sampling.NewStore(n, nmin)
+			} else {
+				c.store = sampling.NewComponentStore(n, nmin, c.members, p.localIdx)
+			}
+			for _, inst := range instances {
+				c.store.Add(inst)
+			}
+			c.store.MarkComplete()
+			c.exactAll = true
+			return
+		}
+		// Enumeration overflowed the limit: fall back to sampling.
+		c.exactAll = false
+	}
+	for round := 0; round < 2 && c.store.NeedsResample(); round++ {
+		c.sampler.SampleWithin(c.store, p.feedback.Approved(), p.feedback.Disapproved(), c.mask, p.cfg.Samples)
+	}
+	if c.store.NeedsResample() {
+		// Two consecutive samplings could not reach n_min: the actual
+		// number of matching instances is below n_min and the store
+		// holds all of them.
+		c.store.MarkComplete()
+	}
+}
+
+// recomputeComp refreshes component k's slice of P from its store,
+// overriding asserted candidates with 1/0 (assertions are always right,
+// §II-B), refreshes the cached entropy term H_k, and staleness-marks
+// the component's cached information gains.
+func (p *PMN) recomputeComp(k int) {
+	p.gainsStale[k] = true
+	c := p.comps[k]
+	c.store.ProbabilitiesInto(p.probs)
+	h := 0.0
+	if c.members == nil {
+		for cand := range p.probs {
+			h += p.entropyTermAt(cand)
+		}
+	} else {
+		for _, cand := range c.members {
+			h += p.entropyTermAt(cand)
 		}
 	}
+	c.entropy = h
+}
+
+// entropyTermAt applies the feedback override to p.probs[cand] and
+// returns its binary-entropy contribution.
+func (p *PMN) entropyTermAt(cand int) float64 {
+	if p.feedback.IsApproved(cand) {
+		p.probs[cand] = 1
+		return 0
+	}
+	if p.feedback.IsDisapproved(cand) {
+		p.probs[cand] = 0
+		return 0
+	}
+	return BinaryEntropy(p.probs[cand])
 }
 
 // Probabilities returns a copy of P.
@@ -133,22 +315,86 @@ func (p *PMN) Probabilities() []float64 {
 // Probability returns p_c.
 func (p *PMN) Probability(c int) float64 { return p.probs[c] }
 
+// integrate performs the component-scoped maintenance for one recorded
+// assertion: view-maintain the touched component's store and decide
+// whether it needs a refill. The store refill and probability
+// recomputation are left to the caller so a batch of assertions pays
+// for them once per touched component.
+func (p *PMN) integrate(c int, approve bool) (comp int, needRefill bool) {
+	k := p.compOf[c]
+	cp := p.comps[k]
+	cp.store.ApplyAssertion(c, approve)
+	if p.cfg.Exact && cp.exactAll && !approve {
+		// Disapproval can surface instances that were not maximal
+		// before; re-enumerate to stay exact.
+		return k, true
+	}
+	return k, cp.store.NeedsResample()
+}
+
 // Assert integrates one expert assertion: the feedback F is updated, the
-// sample set is view-maintained, resampled if it fell below n_min, and
-// the probabilities are recomputed (§III-B, step (3) of Algorithm 1).
+// touched component's sample set is view-maintained, resampled if it
+// fell below n_min, and the component's probabilities are recomputed
+// (§III-B, step (3) of Algorithm 1). Components the assertion does not
+// touch keep their samples and probabilities verbatim.
 func (p *PMN) Assert(c int, approve bool) error {
 	if err := p.feedback.assert(c, approve); err != nil {
 		return err
 	}
-	p.store.ApplyAssertion(c, approve)
-	if p.cfg.Exact && p.exactAll && !approve {
-		// Disapproval can surface instances that were not maximal
-		// before; re-enumerate to stay exact.
-		p.refill()
-	} else if p.store.NeedsResample() {
-		p.refill()
+	k, needRefill := p.integrate(c, approve)
+	if needRefill {
+		p.refillComp(k)
+		p.resamples++
 	}
-	p.recompute()
+	p.recomputeComp(k)
+	return nil
+}
+
+// AssertBatch integrates many assertions at once: all feedback is
+// recorded and view-maintained first, and each touched component is
+// refilled and recomputed exactly once at the end — at most one
+// resampling round per touched component regardless of the batch size.
+// Session replay (LoadSession) uses this to avoid the
+// refill-per-history-entry cost of replaying through Assert. The batch
+// is validated up front (duplicate or already-asserted candidates
+// reject the whole batch with no state change).
+func (p *PMN) AssertBatch(assertions []Assertion) error {
+	seen := make(map[int]bool, len(assertions))
+	for i, a := range assertions {
+		if a.Cand < 0 || a.Cand >= len(p.probs) {
+			return fmt.Errorf("core: assertion %d: candidate %d out of range [0,%d)", i, a.Cand, len(p.probs))
+		}
+		if seen[a.Cand] {
+			return fmt.Errorf("core: assertion %d: candidate %d asserted twice in batch", i, a.Cand)
+		}
+		if p.feedback.IsAsserted(a.Cand) {
+			return fmt.Errorf("core: assertion %d: candidate %d already asserted", i, a.Cand)
+		}
+		seen[a.Cand] = true
+	}
+	needRefill := make([]bool, len(p.comps))
+	touched := make([]bool, len(p.comps))
+	for _, a := range assertions {
+		if err := p.feedback.assert(a.Cand, a.Approved); err != nil {
+			// Unreachable after validation; surface loudly if it happens.
+			panic(err)
+		}
+		k, refill := p.integrate(a.Cand, a.Approved)
+		touched[k] = true
+		if refill {
+			needRefill[k] = true
+		}
+	}
+	for k := range p.comps {
+		if !touched[k] {
+			continue
+		}
+		if needRefill[k] {
+			p.refillComp(k)
+			p.resamples++
+		}
+		p.recomputeComp(k)
+	}
 	return nil
 }
 
@@ -165,5 +411,13 @@ func (p *PMN) Uncertain() []int {
 	return out
 }
 
-// Entropy returns the network uncertainty H(C, P) of Equation 3.
-func (p *PMN) Entropy() float64 { return EntropyOf(p.probs) }
+// Entropy returns the network uncertainty H(C, P) of Equation 3 as the
+// sum of the cached per-component terms (entropy is additive across
+// components because the joint distribution factorizes).
+func (p *PMN) Entropy() float64 {
+	h := 0.0
+	for _, c := range p.comps {
+		h += c.entropy
+	}
+	return h
+}

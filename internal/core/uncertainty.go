@@ -29,8 +29,9 @@ func EntropyOf(probs []float64) float64 {
 }
 
 // igScratch holds the per-worker buffers of the ranking pass: the
-// batched co-occurrence counts of one candidate, a memo table of
-// partition entropies, and the hoisted asserted-candidate mask.
+// batched co-occurrence counts of one candidate (column-indexed within
+// its component's store), a memo table of partition entropies, and the
+// hoisted asserted-candidate mask (global-indexed).
 type igScratch struct {
 	with     []int
 	without  []int
@@ -39,10 +40,9 @@ type igScratch struct {
 }
 
 func (p *PMN) newScratch(asserted []bool) *igScratch {
-	n := p.store.NumCandidates()
 	return &igScratch{
-		with:     make([]int, n),
-		without:  make([]int, n),
+		with:     make([]int, p.maxComp),
+		without:  make([]int, p.maxComp),
 		asserted: asserted,
 	}
 }
@@ -50,46 +50,68 @@ func (p *PMN) newScratch(asserted []bool) *igScratch {
 // assertedMask hoists feedback.IsAsserted out of the ranking inner loop
 // (two bounds-checked bitset probes per candidate pair otherwise).
 func (p *PMN) assertedMask() []bool {
-	out := make([]bool, p.store.NumCandidates())
+	out := make([]bool, len(p.probs))
 	for _, a := range p.feedback.History() {
 		out[a.Cand] = true
 	}
 	return out
 }
 
-// condEntropy computes H(C | c, P) of Equation 4 — the expected network
-// uncertainty after the expert asserts c — from one batched columnar
-// count pass (Store.CoCounts): the sample set is partitioned on
-// membership of c, exactly the update view maintenance would perform for
-// either answer.
-func (p *PMN) condEntropy(c int, s *igScratch) float64 {
+// condEntropyComp computes the component-local part of H(C | c, P) of
+// Equation 4 — the expected uncertainty of c's component after the
+// expert asserts c — from one batched columnar count pass over the
+// component's store (Store.CoCountsInto): the component's sample set is
+// partitioned on membership of c, exactly the update view maintenance
+// would perform for either answer. Candidates of other components are
+// independent of c, so their entropy terms are unchanged by the
+// conditioning and never enter this pass — the factorization that makes
+// the ranking O(component²) instead of O(network²) per candidate.
+func (p *PMN) condEntropyComp(comp *component, c int, s *igScratch) float64 {
 	pc := p.probs[c]
-	nWith, nWithout := p.store.CoCountsInto(c, s.with, s.without)
-	hPlus := p.partitionEntropyOf(s.with, nWith, s)
-	hMinus := p.partitionEntropyOf(s.without, nWithout, s)
+	m := comp.store.TrackedCount()
+	nWith, nWithout := comp.store.CoCountsInto(c, s.with, s.without)
+	hPlus := p.partitionEntropyOf(comp, s.with[:m], nWith, s)
+	hMinus := p.partitionEntropyOf(comp, s.without[:m], nWithout, s)
 	return pc*hPlus + (1-pc)*hMinus
 }
 
-// partitionEntropyOf computes H(C, P±) over one sub-population of
-// samples from its per-candidate membership counts. Within one partition
-// the per-candidate entropy depends only on the count k ∈ [0, total], so
-// values are memoized in the scratch table: co-occurrence counts repeat
-// heavily and log2 dominates the pass otherwise.
-func (p *PMN) partitionEntropyOf(counts []int, total int, s *igScratch) float64 {
+// partitionEntropyOf computes H over one sub-population of a
+// component's samples from its per-candidate membership counts
+// (column-indexed). Within one partition the per-candidate entropy
+// depends only on the count k ∈ [0, total], so values are memoized in
+// the scratch table: co-occurrence counts repeat heavily and log2
+// dominates the pass otherwise.
+func (p *PMN) partitionEntropyOf(comp *component, counts []int, total int, s *igScratch) float64 {
 	if total == 0 {
 		return 0
 	}
-	if cap(s.tab) < total+1 {
-		s.tab = make([]float64, total+1)
-	}
-	tab := s.tab[:total+1]
-	for i := range tab {
-		tab[i] = -1
+	// A component with few members probes at most that many distinct
+	// counts: resetting a memo table of total+1 entries would cost more
+	// than the log2 calls it saves, so small components compute
+	// directly.
+	memo := len(counts) > 64
+	var tab []float64
+	if memo {
+		if cap(s.tab) < total+1 {
+			s.tab = make([]float64, total+1)
+		}
+		tab = s.tab[:total+1]
+		for i := range tab {
+			tab[i] = -1
+		}
 	}
 	h := 0.0
-	for d, cnt := range counts {
+	for j, cnt := range counts {
+		d := j
+		if comp.members != nil {
+			d = comp.members[j]
+		}
 		if s.asserted[d] {
 			continue // asserted candidates stay certain in P±
+		}
+		if !memo {
+			h += BinaryEntropy(float64(cnt) / float64(total))
+			continue
 		}
 		e := tab[cnt]
 		if e < 0 {
@@ -101,7 +123,9 @@ func (p *PMN) partitionEntropyOf(counts []int, total int, s *igScratch) float64 
 	return h
 }
 
-// ConditionalEntropy returns H(C | c, P) of Equation 4.
+// ConditionalEntropy returns H(C | c, P) of Equation 4: the
+// component-local conditional term plus the unchanged entropy of every
+// other component.
 func (p *PMN) ConditionalEntropy(c int) float64 {
 	pc := p.probs[c]
 	if pc <= 0 || pc >= 1 {
@@ -109,17 +133,22 @@ func (p *PMN) ConditionalEntropy(c int) float64 {
 		// changes nothing.
 		return p.Entropy()
 	}
-	return p.condEntropy(c, p.newScratch(p.assertedMask()))
+	comp := p.comps[p.compOf[c]]
+	rest := p.Entropy() - comp.entropy
+	return rest + p.condEntropyComp(comp, c, p.newScratch(p.assertedMask()))
 }
 
 // InformationGain returns IG(c) of Equation 5: the expected uncertainty
 // reduction from asserting c. It is zero for certain candidates.
+// Because conditioning on c leaves every other component untouched, the
+// gain reduces to the component-local difference H_k − H_k(·|c).
 func (p *PMN) InformationGain(c int) float64 {
 	pc := p.probs[c]
 	if pc <= 0 || pc >= 1 {
 		return 0
 	}
-	ig := p.Entropy() - p.ConditionalEntropy(c)
+	comp := p.comps[p.compOf[c]]
+	ig := comp.entropy - p.condEntropyComp(comp, c, p.newScratch(p.assertedMask()))
 	if ig < 0 {
 		// Sampling noise can produce slightly negative estimates; clamp
 		// so ordering degenerates gracefully to "no expected gain".
@@ -133,21 +162,43 @@ func (p *PMN) InformationGain(c int) float64 {
 // count pass), so small chunks balance well without contention.
 const igChunk = 8
 
-// InformationGains returns IG(c) for every candidate. The per-candidate
-// computations read only the store's columnar matrix and the probability
-// vector, so the ranking pass shards the uncertain candidates across
-// Config.Workers goroutines (default GOMAXPROCS).
+// InformationGains returns IG(c) for every candidate. Information gain
+// is component-local, so the PMN caches the gain vector and an
+// assertion staleness-marks only its own component: each call re-ranks
+// just the stale components' uncertain members — O(touched component),
+// not O(network), per pay-as-you-go step — sharding them across
+// Config.Workers goroutines (default GOMAXPROCS). The per-candidate
+// computations read only the owning component's columnar matrix and
+// the probability vector, so workers never contend.
 func (p *PMN) InformationGains() []float64 {
-	out := make([]float64, len(p.probs))
-	h := p.Entropy()
-
-	uncertain := make([]int, 0, len(p.probs))
-	for c, pc := range p.probs {
-		if pc > 0 && pc < 1 {
-			uncertain = append(uncertain, c)
+	// Collect the uncertain members of stale components, resetting the
+	// stale components' cached gains (certain candidates rank 0).
+	var pending []int
+	for k, comp := range p.comps {
+		if !p.gainsStale[k] {
+			continue
 		}
+		reset := func(c int) {
+			p.gains[c] = 0
+			if pc := p.probs[c]; pc > 0 && pc < 1 {
+				pending = append(pending, c)
+			}
+		}
+		if comp.members == nil {
+			for c := range p.probs {
+				reset(c)
+			}
+		} else {
+			for _, c := range comp.members {
+				reset(c)
+			}
+		}
+		p.gainsStale[k] = false
 	}
-	if len(uncertain) == 0 {
+
+	out := make([]float64, len(p.gains))
+	if len(pending) == 0 {
+		copy(out, p.gains)
 		return out
 	}
 
@@ -155,46 +206,47 @@ func (p *PMN) InformationGains() []float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if max := (len(uncertain) + igChunk - 1) / igChunk; workers > max {
+	if max := (len(pending) + igChunk - 1) / igChunk; workers > max {
 		workers = max
 	}
 
 	asserted := p.assertedMask()
 	rank := func(s *igScratch, c int) {
-		if ig := h - p.condEntropy(c, s); ig > 0 {
-			out[c] = ig
+		comp := p.comps[p.compOf[c]]
+		if ig := comp.entropy - p.condEntropyComp(comp, c, s); ig > 0 {
+			p.gains[c] = ig
 		}
 	}
 	if workers <= 1 {
 		s := p.newScratch(asserted)
-		for _, c := range uncertain {
+		for _, c := range pending {
 			rank(s, c)
 		}
-		return out
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := p.newScratch(asserted)
+				for {
+					lo := int(next.Add(igChunk)) - igChunk
+					if lo >= len(pending) {
+						return
+					}
+					hi := lo + igChunk
+					if hi > len(pending) {
+						hi = len(pending)
+					}
+					for _, c := range pending[lo:hi] {
+						rank(s, c)
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := p.newScratch(asserted)
-			for {
-				lo := int(next.Add(igChunk)) - igChunk
-				if lo >= len(uncertain) {
-					return
-				}
-				hi := lo + igChunk
-				if hi > len(uncertain) {
-					hi = len(uncertain)
-				}
-				for _, c := range uncertain[lo:hi] {
-					rank(s, c)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	copy(out, p.gains)
 	return out
 }

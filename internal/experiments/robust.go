@@ -122,7 +122,8 @@ func Robust(cfg Config) (Result, error) {
 						panic(err)
 					}
 				}
-				inst := instantiate.Heuristic(e, pmn.Store(), pmn.Probabilities(),
+				inst := instantiate.HeuristicDecomposed(e, pmn.ComponentStores(), pmn.ComponentMasks(),
+					pmn.Probabilities(),
 					pmn.Feedback().Approved(), pmn.Feedback().Disapproved(), instCfg, rng)
 				precs[run], recs[run] = eval.PrecisionRecall(d.Network, inst.Members(), d.GroundTruth)
 			})

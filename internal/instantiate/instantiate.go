@@ -128,9 +128,66 @@ func (q *tabuQueue) has(c int) bool { return q.set.Has(c) }
 // correspondence probabilities; approved/disapproved may be nil.
 func Heuristic(e *constraints.Engine, store *sampling.Store, probs []float64,
 	approved, disapproved *bitset.Set, cfg Config, rng *rand.Rand) *bitset.Set {
+	return heuristicWithin(e, store, probs, approved, disapproved, nil, cfg, rng)
+}
+
+// HeuristicDecomposed runs Algorithm 2 independently on every
+// constraint-connected component and unions the per-component winners.
+// stores[k] holds component k's samples and masks[k] its member set (a
+// nil mask means the component covers the whole universe, as in a
+// monolithic single-component PMN). Both the repair distance Δ(I, C)
+// and the likelihood u(I) are sums/products over components, so the
+// union of per-component optima is a global optimum of the same
+// objective — searching each component's much smaller instance space
+// instead of the product space. The search budget (cfg.Iterations) is
+// scaled down per component (a component of m candidates saturates in
+// O(m) moves), so total work does not multiply with component count.
+func HeuristicDecomposed(e *constraints.Engine, stores []*sampling.Store, masks []*bitset.Set,
+	probs []float64, approved, disapproved *bitset.Set, cfg Config, rng *rand.Rand) *bitset.Set {
+
+	if len(stores) == 1 && masks[0] == nil {
+		return Heuristic(e, stores[0], probs, approved, disapproved, cfg, rng)
+	}
+	out := e.NewInstance()
+	for k, store := range stores {
+		subCfg := cfg
+		if m := store.TrackedCount(); subCfg.Iterations > 4*m+16 {
+			subCfg.Iterations = 4*m + 16
+		}
+		sub := heuristicWithin(e, store, probs, approved, disapproved, masks[k], subCfg, rng)
+		out.UnionWith(sub)
+	}
+	return out
+}
+
+// heuristicWithin is Algorithm 2 restricted to the candidates of
+// `within` (nil = whole universe): the greedy pickup reads the
+// component's store, the local search only proposes component
+// candidates, repairs protect approved ∩ within, and saturation
+// excludes everything outside the component. The repair-distance
+// reference is the component's candidate set.
+func heuristicWithin(e *constraints.Engine, store *sampling.Store, probs []float64,
+	approved, disapproved *bitset.Set, within *bitset.Set, cfg Config, rng *rand.Rand) *bitset.Set {
 
 	n := e.Network().NumCandidates()
-	full := e.FullInstance()
+	full := within
+	if full == nil {
+		full = e.FullInstance()
+	}
+	// apr = F+ ∩ within seeds and protects; excluded = ¬within ∪ F−
+	// bounds repairs and saturation.
+	apr, excluded := sampling.FeedbackWithin(n, approved, disapproved, within, nil, nil)
+	var members []int
+	if within != nil {
+		// A component store already caches its member list; fall back to
+		// deriving it from the mask for store-less callers.
+		if store != nil {
+			members = store.TrackedMembers()
+		}
+		if members == nil {
+			members = within.Members()
+		}
+	}
 
 	// Step 1: greedy pickup among the sampled instances — minimal repair
 	// distance, tie-broken by likelihood.
@@ -146,27 +203,31 @@ func Heuristic(e *constraints.Engine, store *sampling.Store, probs []float64,
 	if best == nil {
 		// No samples available: start from the approved set, saturated.
 		seed := e.NewInstance()
-		if approved != nil {
-			seed.UnionWith(approved)
+		if apr != nil {
+			seed.UnionWith(apr)
 		}
-		e.Maximize(seed, disapproved, rng)
+		e.MaximizeWithin(seed, excluded, members, rng)
 		best = seed
 	}
 	best = best.Clone()
 
-	// Step 2: randomized local search with tabu. The pool C \ I \ F− \
-	// tabu is built as a mask (word-wise set subtraction) and expanded in
-	// ascending order, matching the old per-candidate scan.
+	// Step 2: randomized local search with tabu. The pool within \ I \
+	// F− \ tabu is built as a mask (word-wise set subtraction) and
+	// expanded in ascending order.
 	cur := best.Clone()
 	tabu := newTabuQueue(cfg.TabuSize, n)
 	pool := make([]int, 0, n)
 	free := bitset.New(n)
 	for i := 0; i < cfg.Iterations; i++ {
-		free.SetAll()
+		if within != nil {
+			free.CopyFrom(within)
+		} else {
+			free.SetAll()
+		}
 		free.DifferenceWith(cur)
 		free.DifferenceWith(tabu.set)
-		if disapproved != nil {
-			free.DifferenceWith(disapproved)
+		if excluded != nil {
+			free.DifferenceWith(excluded)
 		}
 		pool = pool[:0]
 		free.ForEach(func(c int) bool {
@@ -178,8 +239,8 @@ func Heuristic(e *constraints.Engine, store *sampling.Store, probs []float64,
 			break
 		}
 		tabu.add(c)
-		e.Repair(cur, c, approved)
-		e.Maximize(cur, disapproved, rng)
+		e.Repair(cur, c, apr)
+		e.MaximizeWithin(cur, excluded, members, rng)
 		if better(best, cur, full, probs, cfg.UseLikelihood) {
 			best.CopyFrom(cur)
 		}

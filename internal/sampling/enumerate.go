@@ -25,12 +25,32 @@ func (e ErrTooManyInstances) Error() string {
 // If the approved set is itself inconsistent, no instance exists and an
 // empty slice is returned.
 func EnumerateAll(e *constraints.Engine, approved, disapproved *bitset.Set, limit int) ([]*bitset.Set, error) {
+	return EnumerateWithin(e, approved, disapproved, nil, limit)
+}
+
+// EnumerateWithin is EnumerateAll restricted to one constraint-connected
+// component: it returns every maximal consistent subset of the `within`
+// candidates that includes approved ∩ within and excludes disapproved.
+// Maximality is relative to the component — candidates outside `within`
+// are treated as excluded, which matches global maximality because
+// constraints never couple candidates across components (see
+// Engine.Components). within nil means the whole universe, making
+// EnumerateAll the trivial restriction.
+func EnumerateWithin(e *constraints.Engine, approved, disapproved, within *bitset.Set, limit int) ([]*bitset.Set, error) {
 	n := e.Network().NumCandidates()
+	// excluded = disapproved ∪ ¬within bounds the maximality check (the
+	// restricted approved set is rebuilt inline below during the
+	// consistency check, so only the exclusion half is needed here).
+	_, excluded := FeedbackWithin(n, nil, disapproved, within, nil, nil)
 	base := e.NewInstance()
 	if approved != nil {
-		// Verify the approved set is self-consistent while building it.
+		// Verify the (restricted) approved set is self-consistent while
+		// building it.
 		ok := true
 		approved.ForEach(func(c int) bool {
+			if within != nil && !within.Has(c) {
+				return true
+			}
 			if e.HasConflict(base, c) {
 				ok = false
 				return false
@@ -43,13 +63,20 @@ func EnumerateAll(e *constraints.Engine, approved, disapproved *bitset.Set, limi
 		}
 	}
 
-	// Free candidates: not asserted either way.
+	// Free candidates: tracked, not asserted either way.
 	var free []int
-	for c := 0; c < n; c++ {
-		if base.Has(c) || (disapproved != nil && disapproved.Has(c)) {
-			continue
+	addFree := func(c int) bool {
+		if !base.Has(c) && (disapproved == nil || !disapproved.Has(c)) {
+			free = append(free, c)
 		}
-		free = append(free, c)
+		return true
+	}
+	if within != nil {
+		within.ForEach(addFree)
+	} else {
+		for c := 0; c < n; c++ {
+			addFree(c)
+		}
 	}
 
 	var out []*bitset.Set
@@ -59,7 +86,7 @@ func EnumerateAll(e *constraints.Engine, approved, disapproved *bitset.Set, limi
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(free) {
-			if e.Maximal(cur, disapproved) {
+			if e.Maximal(cur, excluded) {
 				if limit > 0 && len(out) >= limit {
 					overflow = ErrTooManyInstances{Limit: limit}
 					return false

@@ -35,6 +35,17 @@ type Config struct {
 	// that raises instance-space coverage — the quantity that governs
 	// the quality of the Equation 2 estimate (see DESIGN.md).
 	RestartProb float64
+	// StagnationLimit ends a sampling round early after this many
+	// consecutive emissions that discovered no new distinct instance.
+	// 0 means unset: the sampler never stops early, but the decomposed
+	// PMN substitutes a component-scaled default for its component
+	// samplers. Negative disables early stopping unconditionally. A
+	// saturated round ends "below n_min" just as a full round would, so
+	// the §III-B completeness conclusion is unchanged — the limit only
+	// stops paying for emissions that demonstrably cannot add coverage
+	// (a small component's entire instance space saturates within a few
+	// dozen emissions).
+	StagnationLimit int
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -49,7 +60,9 @@ type Sampler struct {
 	engine   *constraints.Engine
 	cfg      Config
 	rng      *rand.Rand
-	freeMask *bitset.Set // scratch: C \ F− \ I as a mask, reused across walk steps
+	freeMask *bitset.Set // scratch: eligible-move mask, reused across walk steps
+	exclMask *bitset.Set // scratch: ¬within ∪ F− for component-restricted walks
+	aprMask  *bitset.Set // scratch: F+ ∩ within for component-restricted walks
 }
 
 // NewSampler builds a sampler. rng must not be nil.
@@ -66,19 +79,54 @@ func NewSampler(engine *constraints.Engine, cfg Config, rng *rand.Rand) *Sampler
 // Config returns the sampler's configuration.
 func (s *Sampler) Config() Config { return s.cfg }
 
-// freeCandidates recomputes the sampler's free mask C \ F− \ I — the
-// candidates eligible for a walk move — as three word-wise passes over
-// the scratch bitset and returns its population count. A uniform move is
-// then freeMask.NthMember(rng.Intn(count)): the same candidate the old
-// slice-based scan would have picked, without the O(C) append loop.
-func (s *Sampler) freeCandidates(inst, disapproved *bitset.Set) int {
+// FeedbackWithin derives the component-restricted form of the feedback
+// masks shared by every restricted operation (SampleWithin,
+// EnumerateWithin, the instantiation heuristic): aprOut = F+ ∩ within
+// and exclOut = ¬within ∪ F−. A nil within means no restriction and
+// returns (approved, disapproved) unchanged. When non-nil, aprBuf and
+// exclBuf are reused as destinations (capacity n); otherwise fresh sets
+// are allocated. aprOut is nil when approved is nil.
+func FeedbackWithin(n int, approved, disapproved, within, aprBuf, exclBuf *bitset.Set) (aprOut, exclOut *bitset.Set) {
+	if within == nil {
+		return approved, disapproved
+	}
+	if exclBuf == nil {
+		exclBuf = bitset.New(n)
+	}
+	exclBuf.SetAll()
+	exclBuf.DifferenceWith(within)
+	if disapproved != nil {
+		exclBuf.UnionWith(disapproved)
+	}
+	if approved == nil {
+		return nil, exclBuf
+	}
+	if aprBuf == nil {
+		aprBuf = bitset.New(n)
+	}
+	aprBuf.CopyFrom(approved)
+	aprBuf.IntersectWith(within)
+	return aprBuf, exclBuf
+}
+
+// freeCandidates recomputes the sampler's free mask — the candidates
+// eligible for a walk move: within \ I \ excluded (within nil means the
+// whole universe) — as word-wise passes over the scratch bitset and
+// returns its population count. A uniform move is then
+// freeMask.NthMember(rng.Intn(count)): the same candidate a slice-based
+// scan would have picked, without the O(C) append loop.
+func (s *Sampler) freeCandidates(inst, excluded, within *bitset.Set) int {
 	if s.freeMask == nil {
 		s.freeMask = s.engine.NewInstance()
 	}
-	s.freeMask.SetAll()
+	if within != nil {
+		s.freeMask.CopyFrom(within)
+	} else {
+		s.freeMask.SetAll()
+	}
 	s.freeMask.DifferenceWith(inst)
-	if disapproved != nil {
-		s.freeMask.DifferenceWith(disapproved)
+	if excluded != nil {
+		s.freeMask.DifferenceWith(excluded)
 	}
 	return s.freeMask.Count()
 }
@@ -88,13 +136,48 @@ func (s *Sampler) freeCandidates(inst, disapproved *bitset.Set) int {
 // otherwise from the approved set (I0 ← F+, saturated when Maximize is
 // on).
 func (s *Sampler) SampleInto(store *Store, approved, disapproved *bitset.Set, n int) {
+	s.SampleWithin(store, approved, disapproved, nil, n)
+}
+
+// SampleWithin is SampleInto restricted to one constraint-connected
+// component: the walk only ever moves on candidates of `within`, the
+// repairs and saturations exclude everything outside it, and the
+// emitted instances are maximal consistent subsets of the component's
+// candidates. Because constraints never couple candidates across
+// components (see Engine.Components), the restricted walk samples the
+// component's factor of the instance space exactly as the global walk
+// samples the product. within nil means the whole universe, making
+// SampleInto the trivial restriction.
+func (s *Sampler) SampleWithin(store *Store, approved, disapproved, within *bitset.Set, n int) {
+	// The walk excludes ¬within ∪ F− everywhere it would exclude F−
+	// alone, and seeds from F+ ∩ within instead of F+. Both masks (and
+	// the member list driving the restricted saturation order) are
+	// fixed for the whole call, so they are computed once into scratch.
+	var members []int
+	if within != nil {
+		// The component store already caches its member list (and its Add
+		// panics on instances outside it, so tracked ⊇ within is
+		// guaranteed wherever the combination is usable); fall back to
+		// deriving the list from the mask for full-universe stores.
+		if members = store.TrackedMembers(); members == nil {
+			members = within.Members()
+		}
+		if s.exclMask == nil {
+			s.exclMask = s.engine.NewInstance()
+		}
+		if s.aprMask == nil && approved != nil {
+			s.aprMask = s.engine.NewInstance()
+		}
+	}
+	apr, excluded := FeedbackWithin(s.engine.Network().NumCandidates(),
+		approved, disapproved, within, s.aprMask, s.exclMask)
 	fresh := func() *bitset.Set {
 		inst := s.engine.NewInstance()
-		if approved != nil {
-			inst.UnionWith(approved)
+		if apr != nil {
+			inst.UnionWith(apr)
 		}
 		if s.cfg.Maximize {
-			s.engine.Maximize(inst, disapproved, s.rng)
+			s.engine.MaximizeWithin(inst, excluded, members, s.rng)
 		}
 		return inst
 	}
@@ -106,21 +189,22 @@ func (s *Sampler) SampleInto(store *Store, approved, disapproved *bitset.Set, n 
 	}
 
 	next := cur.Clone()
+	stale := 0
 	for i := 0; i < n; i++ {
 		if i > 0 && s.rng.Float64() < s.cfg.RestartProb {
 			cur = fresh()
 			next = cur.Clone()
 		}
 		for j := 0; j < s.cfg.WalkSteps; j++ {
-			nFree := s.freeCandidates(cur, disapproved)
+			nFree := s.freeCandidates(cur, excluded, within)
 			if nFree == 0 {
 				break
 			}
 			c := s.freeMask.NthMember(s.rng.Intn(nFree))
 			next.CopyFrom(cur)
-			s.engine.Repair(next, c, approved)
+			s.engine.Repair(next, c, apr)
 			if s.cfg.Maximize {
-				s.engine.Maximize(next, disapproved, s.rng)
+				s.engine.MaximizeWithin(next, excluded, members, s.rng)
 			}
 			delta := cur.SymmetricDiffCount(next)
 			accept := true
@@ -131,7 +215,11 @@ func (s *Sampler) SampleInto(store *Store, approved, disapproved *bitset.Set, n 
 				cur, next = next, cur
 			}
 		}
-		store.Add(cur)
+		if store.Add(cur) {
+			stale = 0
+		} else if stale++; s.cfg.StagnationLimit > 0 && stale >= s.cfg.StagnationLimit {
+			return
+		}
 	}
 }
 

@@ -10,36 +10,111 @@ import "schemanet/internal/bitset"
 // quality, which is why the sampler mixes restarts into its walk.
 //
 // Alongside the row-major instance list the store maintains a
-// *transposed, columnar* bit matrix: cols[c] is a word slice whose bit i
-// is set iff instances[i] contains candidate c. Conditional
-// co-occurrence counts — the inner loop of the information-gain ranking
-// (Equations 4–5) — then collapse to word-wise AND + popcount between
-// two columns, O(S/64) per candidate pair instead of O(S) (see
+// *transposed, columnar* bit matrix: cols[j] is a word slice whose bit i
+// is set iff instances[i] contains the j-th tracked candidate.
+// Conditional co-occurrence counts — the inner loop of the
+// information-gain ranking (Equations 4–5) — then collapse to word-wise
+// AND + popcount between two columns, O(S/64) per candidate pair (see
 // DESIGN.md, "Columnar sample store").
+//
+// A store tracks either the whole candidate universe (NewStore) or one
+// constraint-connected component of it (NewComponentStore). A component
+// store holds the component's matching instances — maximal consistent
+// subsets of the component's candidates — and materializes columns and
+// counts only for its members, so the per-component slabs of a
+// decomposed PMN together cost what the one monolithic slab did (see
+// DESIGN.md, "Component decomposition"). Instances added to a component
+// store must be subsets of the member set.
 type Store struct {
-	numCands  int
-	nmin      int
-	instances []*bitset.Set
-	fps       []uint64         // fps[i] = instances[i].Fingerprint()
-	index     map[uint64][]int // fingerprint -> instance rows (collision bucket)
-	counts    []int            // counts[c] = popcount(cols[c])
-	cols      [][]uint64       // candidate-major, sample-minor bit matrix
-	slab      []uint64         // backing array of cols: column c is slab[c*colCap:]
-	colCap    int              // words of slab capacity per column
-	colWords  int              // words per column in use, ceil(len(instances)/64)
-	complete  bool
+	numCands   int
+	nmin       int
+	members    []int       // tracked candidates, ascending; nil = all
+	local      []int32     // global -> column index; nil = identity. Shared, read-only.
+	memberMask *bitset.Set // members as a mask; nil = all
+	m          int         // number of tracked candidates
+	instances  []*bitset.Set
+	fps        []uint64         // fps[i] = instances[i].Fingerprint()
+	index      map[uint64][]int // fingerprint -> instance rows (collision bucket)
+	counts     []int            // counts[j] = popcount(cols[j]), column-indexed
+	cols       [][]uint64       // candidate-major, sample-minor bit matrix, column-indexed
+	slab       []uint64         // backing array of cols: column j is slab[j*colCap:]
+	colCap     int              // words of slab capacity per column
+	colWords   int              // words per column in use, ceil(len(instances)/64)
+	complete   bool
 }
 
-// NewStore returns an empty store for networks with numCands candidates
-// and view-maintenance threshold nmin.
+// NewStore returns an empty store tracking all numCands candidates with
+// view-maintenance threshold nmin.
 func NewStore(numCands, nmin int) *Store {
 	return &Store{
 		numCands: numCands,
 		nmin:     nmin,
+		m:        numCands,
 		index:    make(map[uint64][]int),
 		counts:   make([]int, numCands),
 		cols:     make([][]uint64, numCands),
 	}
+}
+
+// NewComponentStore returns an empty store tracking only the given
+// members (one constraint-connected component, ascending candidate
+// indices). local maps every member to its column index (local[c] for
+// c ∈ members); it is typically shared across all component stores of
+// one PMN and must not be mutated. Instances added to the store must be
+// subsets of the member set.
+func NewComponentStore(numCands, nmin int, members []int, local []int32) *Store {
+	mask := bitset.FromIndices(numCands, members...)
+	return &Store{
+		numCands:   numCands,
+		nmin:       nmin,
+		members:    members,
+		local:      local,
+		memberMask: mask,
+		m:          len(members),
+		index:      make(map[uint64][]int),
+		counts:     make([]int, len(members)),
+		cols:       make([][]uint64, len(members)),
+	}
+}
+
+// columnOf returns the column index of global candidate c. Callers must
+// pass a tracked candidate.
+func (st *Store) columnOf(c int) int {
+	if st.local == nil {
+		return c
+	}
+	return int(st.local[c])
+}
+
+// mustTrack panics when c is not tracked by this store: the shared
+// global→column map is only meaningful for this store's members, so an
+// untracked index would silently read another component's column.
+func (st *Store) mustTrack(c int) {
+	if !st.Tracks(c) {
+		panic("sampling: candidate not tracked by this component store")
+	}
+}
+
+// TrackedCount returns the number of tracked candidates: NumCandidates
+// for a full store, the component size for a component store.
+func (st *Store) TrackedCount() int { return st.m }
+
+// TrackedMembers returns the tracked candidates in ascending order, or
+// nil when the store tracks the whole universe. The slice must not be
+// mutated.
+func (st *Store) TrackedMembers() []int { return st.members }
+
+// GlobalID returns the global candidate index of column j.
+func (st *Store) GlobalID(j int) int {
+	if st.members == nil {
+		return j
+	}
+	return st.members[j]
+}
+
+// Tracks reports whether candidate c is tracked by this store.
+func (st *Store) Tracks(c int) bool {
+	return st.memberMask == nil || st.memberMask.Has(c)
 }
 
 // Add inserts a copy of inst unless an identical instance is already
@@ -47,6 +122,9 @@ func NewStore(numCands, nmin int) *Store {
 // fingerprint index with an Equal check on collision, avoiding the
 // string-key allocation a map[string]int would cost per emission.
 func (st *Store) Add(inst *bitset.Set) bool {
+	if st.memberMask != nil && !st.memberMask.ContainsAll(inst) {
+		panic("sampling: instance outside the component store's member set")
+	}
 	fp := inst.Fingerprint()
 	for _, i := range st.index[fp] {
 		if st.instances[i].Equal(inst) {
@@ -61,8 +139,9 @@ func (st *Store) Add(inst *bitset.Set) bool {
 	st.ensureColWords(row>>6 + 1)
 	w, b := row>>6, uint(row&63)
 	cp.ForEach(func(c int) bool {
-		st.counts[c]++
-		st.cols[c][w] |= 1 << b
+		j := st.columnOf(c)
+		st.counts[j]++
+		st.cols[j][w] |= 1 << b
 		return true
 	})
 	return true
@@ -116,7 +195,18 @@ func (st *Store) NeedsResample() bool {
 // approving c keeps only instances containing c; disapproving keeps only
 // instances without c. One compaction pass rebuilds the fingerprint
 // index, the columnar matrix, and the per-candidate counts.
+//
+// Completeness is revoked on any disapproval (new maximal instances can
+// surface, see DESIGN.md) and also whenever the kept instance set comes
+// out empty: completeness recorded by the two-under-n_min sampling
+// heuristic is a *conclusion*, not a proof, and an assertion that wipes
+// the store is direct evidence the missing instances were never
+// sampled. Keeping the complete flag on an empty store would silently
+// dead-end the session — probabilities all 0, entropy 0, NeedsResample
+// false — with no way back (the regression this guards is a completed
+// store emptied by an approval).
 func (st *Store) ApplyAssertion(c int, approved bool) {
+	st.mustTrack(c)
 	kept := st.instances[:0]
 	fps := st.fps[:0]
 	for k := range st.index {
@@ -136,13 +226,13 @@ func (st *Store) ApplyAssertion(c int, approved bool) {
 	st.instances = kept
 	st.fps = fps
 	st.rebuildColumns()
-	if !approved {
+	if !approved || len(kept) == 0 {
 		st.ClearComplete()
 	}
 }
 
 // ensureColWords grows every column to the given word count. All
-// columns share one backing slab (column c at stride colCap), so a
+// columns share one backing slab (column j at stride colCap), so a
 // capacity growth is a single allocation plus one copy per column, and
 // adjacent columns stay contiguous for the ranking scan.
 func (st *Store) ensureColWords(words int) {
@@ -157,16 +247,16 @@ func (st *Store) ensureColWords(words int) {
 		if newCap < 4 {
 			newCap = 4
 		}
-		slab := make([]uint64, st.numCands*newCap)
-		for c, col := range st.cols {
-			copy(slab[c*newCap:], col)
+		slab := make([]uint64, st.m*newCap)
+		for j, col := range st.cols {
+			copy(slab[j*newCap:], col)
 		}
 		st.slab = slab
 		st.colCap = newCap
 	}
 	st.colWords = words
-	for c := range st.cols {
-		st.cols[c] = st.slab[c*st.colCap : c*st.colCap+words]
+	for j := range st.cols {
+		st.cols[j] = st.slab[j*st.colCap : j*st.colCap+words]
 	}
 }
 
@@ -180,15 +270,16 @@ func (st *Store) rebuildColumns() {
 	}
 	st.colWords = 0
 	st.ensureColWords(words)
-	for c := range st.cols {
-		st.cols[c] = st.slab[c*st.colCap : c*st.colCap+words]
-		st.counts[c] = 0
+	for j := range st.cols {
+		st.cols[j] = st.slab[j*st.colCap : j*st.colCap+words]
+		st.counts[j] = 0
 	}
 	for i, inst := range st.instances {
 		w, b := i>>6, uint(i&63)
 		inst.ForEach(func(d int) bool {
-			st.counts[d]++
-			st.cols[d][w] |= 1 << b
+			j := st.columnOf(d)
+			st.counts[j]++
+			st.cols[j][w] |= 1 << b
 			return true
 		})
 	}
@@ -196,83 +287,120 @@ func (st *Store) rebuildColumns() {
 
 // Probability returns the estimated probability of candidate c
 // (Equation 2): the fraction of held instances containing c. It returns
-// 0 when the store is empty.
+// 0 when the store is empty or does not track c.
 func (st *Store) Probability(c int) float64 {
-	if len(st.instances) == 0 {
+	if len(st.instances) == 0 || !st.Tracks(c) {
 		return 0
 	}
-	return float64(st.counts[c]) / float64(len(st.instances))
+	return float64(st.counts[st.columnOf(c)]) / float64(len(st.instances))
 }
 
-// Probabilities returns the probability estimates for all candidates.
+// Probabilities returns the probability estimates for all candidates
+// of the universe; untracked candidates read 0.
 func (st *Store) Probabilities() []float64 {
 	out := make([]float64, st.numCands)
-	for c := range out {
-		out[c] = st.Probability(c)
-	}
+	st.ProbabilitiesInto(out)
 	return out
 }
 
+// ProbabilitiesInto writes the probability estimates of the tracked
+// candidates into out (len ≥ NumCandidates) at their global positions;
+// untracked positions are left untouched. This is how a decomposed PMN
+// refreshes only the touched component's slice of P.
+func (st *Store) ProbabilitiesInto(out []float64) {
+	n := len(st.instances)
+	if st.members == nil {
+		for c := range st.counts {
+			if n == 0 {
+				out[c] = 0
+			} else {
+				out[c] = float64(st.counts[c]) / float64(n)
+			}
+		}
+		return
+	}
+	for j, c := range st.members {
+		if n == 0 {
+			out[c] = 0
+		} else {
+			out[c] = float64(st.counts[j]) / float64(n)
+		}
+	}
+}
+
 // SmoothedProbabilities returns add-half (Krichevsky–Trofimov) smoothed
-// estimates, (count + ½) / (size + 1). Finite sampling saturates raw
-// frequencies at exactly 0 or 1 even when the true probability is not;
-// divergence measurements against exact distributions (Figure 7) use
-// the smoothed form so a single saturated estimate cannot dominate.
+// estimates, (count + ½) / (size + 1), for the whole universe
+// (untracked candidates smooth from count 0). Finite sampling saturates
+// raw frequencies at exactly 0 or 1 even when the true probability is
+// not; divergence measurements against exact distributions (Figure 7)
+// use the smoothed form so a single saturated estimate cannot dominate.
 func (st *Store) SmoothedProbabilities() []float64 {
 	out := make([]float64, st.numCands)
 	n := float64(len(st.instances))
 	for c := range out {
-		out[c] = (float64(st.counts[c]) + 0.5) / (n + 1)
+		cnt := 0.0
+		if st.Tracks(c) {
+			cnt = float64(st.counts[st.columnOf(c)])
+		}
+		out[c] = (cnt + 0.5) / (n + 1)
 	}
 	return out
 }
 
 // Partition returns how many instances contain c and how many do not.
+// c must be tracked by this store.
 func (st *Store) Partition(c int) (with, without int) {
-	with = st.counts[c]
+	st.mustTrack(c)
+	with = st.counts[st.columnOf(c)]
 	return with, len(st.instances) - with
 }
 
-// CoCounts returns, for every candidate d, how many instances contain
-// both c and d (with[d]) and how many contain d but not c (without[d]),
-// together with the sizes of the two partitions. It is the batched,
-// columnar replacement for calling CondCounts twice: one word-wise
-// AND+popcount per candidate pair, with the without-side derived as
-// counts[d] − with[d].
+// CoCounts returns, for every tracked candidate (column-indexed; see
+// GlobalID), how many instances contain both c and that candidate
+// (with[j]) and how many contain it but not c (without[j]), together
+// with the sizes of the two partitions. It is the batched, columnar
+// replacement for calling CondCounts twice: one word-wise AND+popcount
+// per candidate pair, with the without-side derived as counts[j] −
+// with[j].
 func (st *Store) CoCounts(c int) (with, without []int, nWith, nWithout int) {
-	with = make([]int, st.numCands)
-	without = make([]int, st.numCands)
+	with = make([]int, st.m)
+	without = make([]int, st.m)
 	nWith, nWithout = st.CoCountsInto(c, with, without)
 	return with, without, nWith, nWithout
 }
 
 // CoCountsInto is CoCounts writing into caller-provided slices (len ≥
-// NumCandidates each), so ranking loops can reuse scratch buffers.
+// TrackedCount each), so ranking loops can reuse scratch buffers.
+// c must be tracked by this store.
 func (st *Store) CoCountsInto(c int, with, without []int) (nWith, nWithout int) {
-	colC := st.cols[c]
-	for d := 0; d < st.numCands; d++ {
-		w := bitset.AndCountWords(st.cols[d], colC)
-		with[d] = w
-		without[d] = st.counts[d] - w
+	st.mustTrack(c)
+	jc := st.columnOf(c)
+	colC := st.cols[jc]
+	for j := 0; j < st.m; j++ {
+		w := bitset.AndCountWords(st.cols[j], colC)
+		with[j] = w
+		without[j] = st.counts[j] - w
 	}
-	return st.counts[c], len(st.instances) - st.counts[c]
+	return st.counts[jc], len(st.instances) - st.counts[jc]
 }
 
-// CondCounts returns, for every candidate d, the number of instances
-// that contain both c and d (when withC is true) or d but not c (when
-// withC is false), together with the number of instances in that
-// partition. It is the naive row-major scan kept as the reference
-// implementation for the columnar CoCounts; property tests cross-check
-// the two. Hot paths should use CoCounts/CoCountsInto.
+// CondCounts returns, for every tracked candidate (column-indexed), the
+// number of instances that contain both c and that candidate (when
+// withC is true) or it but not c (when withC is false), together with
+// the number of instances in that partition. It is the naive row-major
+// scan kept as the reference implementation for the columnar CoCounts;
+// property tests cross-check the two. Hot paths should use
+// CoCounts/CoCountsInto. c must be tracked by this store.
 func (st *Store) CondCounts(c int, withC bool) (counts []int, total int) {
-	counts = make([]int, st.numCands)
+	st.mustTrack(c)
+	counts = make([]int, st.m)
 	for _, inst := range st.instances {
 		if inst.Has(c) != withC {
 			continue
 		}
 		total++
 		inst.ForEach(func(d int) bool {
-			counts[d]++
+			counts[st.columnOf(d)]++
 			return true
 		})
 	}

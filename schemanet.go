@@ -140,8 +140,19 @@ type Options struct {
 	// reference constraint engine instead of the compiled conflict index
 	// (see DESIGN.md, "Compiled conflict index"). The two are
 	// equivalent; the interpreted path exists for debugging and
-	// differential testing and is markedly slower.
+	// differential testing and is markedly slower. It also disables
+	// component decomposition (the partition is derived from the
+	// compiled index).
 	InterpretedConstraints bool
+	// Monolithic disables component decomposition: the probabilistic
+	// matching network keeps one global sample space instead of one per
+	// constraint-connected component (see DESIGN.md, "Component
+	// decomposition"). The two paths are equivalent — identical
+	// probabilities under Exact, statistically equivalent estimates when
+	// sampling — but the decomposed path makes each assertion pay only
+	// for its own component. The switch exists for differential testing
+	// and debugging.
+	Monolithic bool
 	// Seed makes the session deterministic.
 	Seed int64
 }
@@ -164,6 +175,17 @@ func (o *Options) withDefaults() Options {
 // it holds the probabilistic matching network, suggests the most
 // informative correspondences for review, integrates assertions, and
 // instantiates a trusted matching on demand.
+//
+// A Session is NOT safe for concurrent use. All methods — including the
+// read-only ones — must be called from a single goroutine (or under
+// external synchronization): Suggest and Instantiate draw from the
+// session's rng and reuse engine-owned scratch, and Assert mutates the
+// probabilistic network in place. The parallelism inside a session
+// (the information-gain ranking shards across Options.Workers, and
+// probabilities decompose by component) is an implementation detail
+// fully contained within each call; it does not make the API
+// thread-safe. Distinct Session values are independent and may be used
+// from distinct goroutines.
 type Session struct {
 	engine   *constraints.Engine
 	pmn      *core.PMN
@@ -173,7 +195,8 @@ type Session struct {
 }
 
 // NewSession builds a session for the network's candidate
-// correspondences and computes the initial probabilities.
+// correspondences and computes the initial probabilities. The returned
+// Session must be confined to one goroutine; see Session.
 func NewSession(net *Network, opts *Options) (*Session, error) {
 	if net.NumCandidates() == 0 {
 		return nil, fmt.Errorf("schemanet: network has no candidate correspondences; run Match first")
@@ -219,6 +242,7 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 	}
 	cfg.Exact = o.Exact
 	cfg.Workers = o.Workers
+	cfg.Monolithic = o.Monolithic
 
 	rng := rand.New(rand.NewSource(o.Seed))
 	s := &Session{
@@ -268,13 +292,24 @@ func (s *Session) Describe(c int) string {
 	return s.Network().DescribeCandidate(c)
 }
 
+// Components returns how many constraint-connected components the
+// probabilistic matching network decomposes into (1 under
+// Options.Monolithic or Options.InterpretedConstraints). Assertions
+// only ever pay for their own component; many small components mean
+// cheap assertions.
+func (s *Session) Components() int { return s.pmn.NumComponents() }
+
 // Instantiate derives a trusted matching from the current state: a
 // maximal constraint-consistent set of correspondences with near-minimal
 // repair distance and near-maximal likelihood (§V, Algorithm 2). It can
-// be called at any time, with any amount of feedback.
+// be called at any time, with any amount of feedback. The search runs
+// per constraint-connected component and merges the per-component
+// maximal instances (the objective factorizes; see DESIGN.md,
+// "Component decomposition").
 func (s *Session) Instantiate() *Matching {
-	inst := instantiate.Heuristic(
-		s.engine, s.pmn.Store(), s.pmn.Probabilities(),
+	inst := instantiate.HeuristicDecomposed(
+		s.engine, s.pmn.ComponentStores(), s.pmn.ComponentMasks(),
+		s.pmn.Probabilities(),
 		s.pmn.Feedback().Approved(), s.pmn.Feedback().Disapproved(),
 		s.instCfg, s.rng)
 	return schema.MatchingFromCandidates(s.Network(), inst.Members())

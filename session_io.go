@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"schemanet/internal/core"
 )
 
 // sessionState is the serialized form of a session: the assertion
@@ -46,6 +48,15 @@ func (s *Session) Save(w io.Writer) error {
 // LoadSession builds a fresh session for net and replays the feedback
 // previously written by Save. The network must contain every asserted
 // correspondence (same or compatible candidate set).
+//
+// The replayed assertions are batch-applied: the whole history is
+// view-maintained first and each touched component is refilled and
+// recomputed once at the end, instead of paying a full
+// view-maintain + resample + recompute round per history entry as
+// replaying through Session.Assert would. Under Options.Exact the
+// result is identical to a step-by-step replay; with sampled
+// probabilities it is statistically equivalent (the estimates come
+// from fresh samples either way).
 func LoadSession(net *Network, opts *Options, r io.Reader) (*Session, error) {
 	var st sessionState
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
@@ -65,6 +76,7 @@ func LoadSession(net *Network, opts *Options, r io.Reader) (*Session, error) {
 			attrByName[net.FullName(a)] = a
 		}
 	}
+	batch := make([]core.Assertion, 0, len(st.History))
 	for i, sa := range st.History {
 		a, okA := attrByName[sa.From]
 		b, okB := attrByName[sa.To]
@@ -77,9 +89,10 @@ func LoadSession(net *Network, opts *Options, r io.Reader) (*Session, error) {
 			return nil, fmt.Errorf("schemanet: session entry %d references non-candidate %s ↔ %s",
 				i, sa.From, sa.To)
 		}
-		if err := s.Assert(c, sa.Approved); err != nil {
-			return nil, fmt.Errorf("schemanet: replaying entry %d: %w", i, err)
-		}
+		batch = append(batch, core.Assertion{Cand: c, Approved: sa.Approved})
+	}
+	if err := s.pmn.AssertBatch(batch); err != nil {
+		return nil, fmt.Errorf("schemanet: replaying session history: %w", err)
 	}
 	return s, nil
 }

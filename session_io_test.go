@@ -75,9 +75,12 @@ func TestSessionSaveEmpty(t *testing.T) {
 func TestLoadSessionErrors(t *testing.T) {
 	net, _ := videoNet(t)
 	cases := map[string]string{
-		"bad json":     `{`,
-		"bad version":  `{"version": 99}`,
-		"unknown attr": `{"version":1,"history":[{"from":"X.y","to":"Z.w","approved":true}]}`,
+		"bad json":        `{`,
+		"bad version":     `{"version": 99}`,
+		"missing version": `{"history":[]}`,
+		"unknown attr":    `{"version":1,"history":[{"from":"X.y","to":"Z.w","approved":true}]}`,
+		"unknown schema": `{"version":1,"history":[
+			{"from":"Nope.productionDate","to":"BBC.date","approved":true}]}`,
 		"non-candidate": `{"version":1,"history":[
 			{"from":"EoverI.productionDate","to":"BBC.name","approved":true}]}`,
 	}
@@ -85,5 +88,47 @@ func TestLoadSessionErrors(t *testing.T) {
 		if _, err := schemanet.LoadSession(net, &schemanet.Options{Exact: true}, strings.NewReader(js)); err == nil {
 			t.Errorf("%s: want error", name)
 		}
+	}
+}
+
+// TestSessionSaveLoadMultiComponent: the round trip must reproduce
+// identical probabilities on a decomposed (multi-component) session
+// under Options.Exact, including replayed disapprovals that trigger
+// per-component re-enumeration.
+func TestSessionSaveLoadMultiComponent(t *testing.T) {
+	net, truth := multiVideoNet(t, 3)
+	opts := &schemanet.Options{Exact: true, Seed: 19}
+	s, err := schemanet.NewSession(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Components() != 3 {
+		t.Fatalf("components = %d, want 3", s.Components())
+	}
+	// Assert something in every component, approvals and disapprovals.
+	for i := 0; i < 6; i++ {
+		c, ok := s.Suggest()
+		if !ok {
+			break
+		}
+		if err := s.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := schemanet.LoadSession(net, opts, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < net.NumCandidates(); c++ {
+		if got, want := restored.Probability(c), s.Probability(c); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("restored p(%d) = %v, want %v", c, got, want)
+		}
+	}
+	if got, want := restored.Uncertainty(), s.Uncertainty(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("restored uncertainty %v, want %v", got, want)
 	}
 }

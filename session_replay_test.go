@@ -1,0 +1,101 @@
+package schemanet
+
+// White-box tests for the batched session replay: the resample counter
+// lives on the internal PMN, so these run inside the package.
+
+import (
+	"strings"
+	"testing"
+)
+
+// replayNet builds the video network without the test-helper facade of
+// the black-box suite.
+func replayNet(t *testing.T) *Network {
+	t.Helper()
+	b := NewBuilder()
+	b.AddSchema("EoverI", "productionDate")
+	b.AddSchema("BBC", "date")
+	b.AddSchema("DVDizzy", "releaseDate", "screenDate")
+	b.ConnectAll()
+	b.AddCorrespondence(0, 1, 0.85)
+	b.AddCorrespondence(1, 2, 0.80)
+	b.AddCorrespondence(0, 2, 0.75)
+	b.AddCorrespondence(1, 3, 0.60)
+	b.AddCorrespondence(0, 3, 0.55)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestLoadSessionReplaysAtMostOneResampleRound is the regression test
+// for the replay-cost bug: LoadSession used to push every saved
+// assertion through Session.Assert, paying a full view-maintain +
+// resample + recompute round per history entry. The batch path refills
+// each touched component at most once — on this single-component
+// network, at most one resampling round for the whole history.
+func TestLoadSessionReplaysAtMostOneResampleRound(t *testing.T) {
+	net := replayNet(t)
+	opts := &Options{Seed: 13, Samples: 100} // sampled mode: refills are real
+	s, err := NewSession(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disapprovals clear store completeness, so a per-entry replay would
+	// resample after every one of them.
+	history := []struct {
+		c       int
+		approve bool
+	}{
+		{net.CandidateIndex(1, 3), false}, // c4
+		{net.CandidateIndex(0, 3), false}, // c5
+		{net.CandidateIndex(1, 2), true},  // c2
+	}
+	for _, h := range history {
+		if err := s.Assert(h.c, h.approve); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.pmn.Resamples() < 2 {
+		t.Fatalf("test premise broken: sequential asserting did %d refills, want ≥ 2",
+			s.pmn.Resamples())
+	}
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadSession(net, opts, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.pmn.Resamples(); got > 1 {
+		t.Fatalf("replay did %d resampling rounds, want ≤ 1 (batched)", got)
+	}
+	if got, want := restored.pmn.Feedback().Count(), len(history); got != want {
+		t.Fatalf("replayed feedback count = %d, want %d", got, want)
+	}
+	for _, h := range history {
+		want := 0.0
+		if h.approve {
+			want = 1
+		}
+		if got := restored.Probability(h.c); got != want {
+			t.Fatalf("replayed p(%d) = %v, want %v", h.c, got, want)
+		}
+	}
+}
+
+// TestLoadSessionBatchRejectsDuplicateHistory: a corrupted save with
+// the same correspondence asserted twice must be rejected, not half
+// applied.
+func TestLoadSessionBatchRejectsDuplicateHistory(t *testing.T) {
+	net := replayNet(t)
+	js := `{"version":1,"history":[
+		{"from":"BBC.date","to":"DVDizzy.releaseDate","approved":true},
+		{"from":"BBC.date","to":"DVDizzy.releaseDate","approved":false}]}`
+	if _, err := LoadSession(net, &Options{Exact: true}, strings.NewReader(js)); err == nil {
+		t.Fatal("want error for duplicate history entries")
+	}
+}
