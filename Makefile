@@ -11,7 +11,7 @@ SHELL := /bin/bash
 BENCHTIME ?= 1x
 COUNT     ?= 3
 
-.PHONY: all vet build test bench bench-smoke race
+.PHONY: all vet build test bench bench-smoke race examples
 
 all: vet build test
 
@@ -35,3 +35,11 @@ bench:
 # repetitions at BENCHTIME each, reported as per-benchmark medians.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkInformationGain|BenchmarkSamplePerEmission|BenchmarkSessionAssert|BenchmarkMaximize|BenchmarkRepair' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
+	# The concurrent-serving benchmark measures whole schedules (seconds
+	# per op at C=2048), so the smoke runs only the C=512 case.
+	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentAssertMultiComp/C=512' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
+
+# Run every example main once — a smoke test that the public API
+# surface the examples exercise keeps working end to end.
+examples:
+	@set -e; for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" > /dev/null; done; echo "examples OK"

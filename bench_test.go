@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"schemanet"
@@ -58,11 +61,11 @@ func BenchmarkRobust(b *testing.B)   { runExperiment(b, "robust") }
 
 // benchDataset builds a synthetic dataset with the given candidate
 // count for micro-benchmarks.
-func benchDataset(b *testing.B, size int) (*schema.Dataset, *rand.Rand) {
+func benchDataset(b testing.TB, size int) (*schema.Dataset, *rand.Rand) {
 	return benchDatasetSeeded(b, size, 42)
 }
 
-func benchDatasetSeeded(b *testing.B, size int, seed int64) (*schema.Dataset, *rand.Rand) {
+func benchDatasetSeeded(b testing.TB, size int, seed int64) (*schema.Dataset, *rand.Rand) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	attrs := size / 16
@@ -86,7 +89,7 @@ func benchDatasetSeeded(b *testing.B, size int, seed int64) (*schema.Dataset, *r
 // sub-networks (no interaction edges across groups) into one dataset,
 // so the resulting network decomposes into at least `groups`
 // constraint-connected components of ~size/groups candidates each.
-func benchMultiComponentDataset(b *testing.B, size, groups int) *schema.Dataset {
+func benchMultiComponentDataset(b testing.TB, size, groups int) *schema.Dataset {
 	b.Helper()
 	bld := schema.NewBuilder()
 	truth := schema.NewMatching()
@@ -123,7 +126,7 @@ func benchMultiComponentDataset(b *testing.B, size, groups int) *schema.Dataset 
 
 // benchNetwork builds a synthetic network with the given candidate
 // count for micro-benchmarks.
-func benchNetwork(b *testing.B, size int) (*constraints.Engine, *rand.Rand) {
+func benchNetwork(b testing.TB, size int) (*constraints.Engine, *rand.Rand) {
 	d, rng := benchDataset(b, size)
 	return constraints.Default(d.Network), rng
 }
@@ -307,6 +310,99 @@ func BenchmarkSessionAssertMultiComp(b *testing.B) {
 		} {
 			b.Run(fmt.Sprintf("C=%d/comps=%d/%s", size, s.Components(), mode.name), func(b *testing.B) {
 				benchSessionAssertOpts(b, d, d.Network, mode.opts)
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentAssertMultiComp measures a component-disjoint
+// assertion schedule (half the candidates, ground-truth answers)
+// applied through the concurrent serving layer by P = GOMAXPROCS
+// goroutines over a worker pool, against the same schedule applied
+// serially through a plain Session — the head-to-head the
+// per-component lock sharding is built for. On GOMAXPROCS=1 hosts the
+// two run the same work on one core and the comparison measures the
+// serving layer's overhead instead of its speedup.
+func BenchmarkConcurrentAssertMultiComp(b *testing.B) {
+	for _, size := range []int{512, 2048} {
+		d := benchMultiComponentDataset(b, size, 4)
+		probe, err := schemanet.NewSession(d.Network, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Component-disjoint schedule: every second candidate, grouped by
+		// owning component, ground truth as the oracle.
+		groups := make([][]schemanet.Assertion, probe.Components())
+		for c := 0; c < d.Network.NumCandidates(); c += 2 {
+			k, err := probe.ComponentOf(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			groups[k] = append(groups[k], schemanet.Assertion{
+				Cand: c, Approved: d.GroundTruth.ContainsCorrespondence(d.Network.Candidate(c)),
+			})
+		}
+		name := fmt.Sprintf("C=%d/comps=%d", size, probe.Components())
+		// Plain Session, one goroutine — the pre-serving-layer cost of
+		// the schedule (no snapshot publication, gains ranked lazily).
+		b.Run(name+"/session-serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := schemanet.NewSession(d.Network, &schemanet.Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, as := range groups {
+					for _, a := range as {
+						if err := s.Assert(a.Cand, a.Approved); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+		// The serving layer driven by P goroutines vs one goroutine: the
+		// 1-goroutine run isolates the serving overhead (locking, eager
+		// re-rank, snapshot publication); the P-goroutine run adds the
+		// component parallelism, which pays off at GOMAXPROCS > 1.
+		workerCounts := []int{1}
+		if p := runtime.GOMAXPROCS(0); p > 1 {
+			workerCounts = append(workerCounts, p)
+		}
+		for _, workers := range workerCounts {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/serving-%dg", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cs, err := schemanet.NewConcurrentSession(d.Network, &schemanet.Options{Seed: int64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					var next atomic.Int64
+					next.Store(-1)
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for {
+								k := int(next.Add(1))
+								if k >= len(groups) {
+									return
+								}
+								for _, a := range groups[k] {
+									if err := cs.Assert(a.Cand, a.Approved); err != nil {
+										b.Error(err)
+										return
+									}
+								}
+							}
+						}()
+					}
+					wg.Wait()
+				}
 			})
 		}
 	}

@@ -12,6 +12,7 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -27,28 +28,38 @@ type series struct {
 }
 
 func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmedian:", err)
+		os.Exit(1)
+	}
+}
+
+// run reads benchmark output from r and writes it back to w with a
+// per-benchmark median table appended; main is a thin wrapper so tests
+// can drive the whole pipeline on golden files.
+func run(r io.Reader, w io.Writer) error {
 	var order []string
 	byName := make(map[string]*series)
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "Benchmark") {
 			// Pass through context lines (goos/goarch/cpu, PASS/FAIL).
-			fmt.Println(line)
+			fmt.Fprintln(w, line)
 			continue
 		}
 		fields := strings.Fields(line)
 		// Benchmark lines look like:
 		//   BenchmarkName-8  iters  value unit  [value unit ...]
 		if len(fields) < 4 || len(fields)%2 != 0 {
-			fmt.Println(line)
+			fmt.Fprintln(w, line)
 			continue
 		}
 		iters, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
-			fmt.Println(line)
+			fmt.Fprintln(w, line)
 			continue
 		}
 		name := fields[0]
@@ -72,16 +83,15 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchmedian:", err)
-		os.Exit(1)
+		return err
 	}
 	if len(order) == 0 {
-		return
+		return nil
 	}
 
-	fmt.Println()
-	fmt.Println("medians:")
-	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "medians:")
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
 	for _, name := range order {
 		s := byName[name]
 		fmt.Fprintf(tw, "%s\truns=%d", s.name, len(s.iters))
@@ -90,7 +100,7 @@ func main() {
 		}
 		fmt.Fprintln(tw)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 func median(vs []float64) float64 {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestRunGolden drives the whole pipeline on recorded `go test -bench`
+// output: odd run counts (median = middle element), even run counts
+// (median = mean of the middle two), multi-unit lines, pass-through of
+// context lines, and malformed Benchmark-prefixed lines that must be
+// forwarded verbatim rather than aggregated or dropped.
+func TestRunGolden(t *testing.T) {
+	for _, name := range []string{"odd", "even", "malformed"} {
+		t.Run(name, func(t *testing.T) {
+			in, err := os.ReadFile(filepath.Join("testdata", name+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := run(bytes.NewReader(in), &out); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output mismatch for %s.txt:\n--- got ---\n%s\n--- want ---\n%s",
+					name, out.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestRunEmptyInput: no benchmark lines at all — no medians section is
+// emitted, and non-benchmark context passes through unchanged.
+func TestRunEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok  \tschemanet\t0.1s\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "PASS\nok  \tschemanet\t0.1s\n" {
+		t.Fatalf("unexpected output: %q", got)
+	}
+	out.Reset()
+	if err := run(strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty input produced output: %q", out.String())
+	}
+}
+
+// TestMedian pins the median semantics the golden files rely on.
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		vs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},          // odd: middle of the sorted values
+		{[]float64{4, 1, 3, 2}, 2.5},     // even: mean of the two middles
+		{[]float64{10, 10, 1, 1000}, 10}, // outliers do not drag the median
+	}
+	for _, tc := range cases {
+		if got := median(tc.vs); got != tc.want {
+			t.Errorf("median(%v) = %v, want %v", tc.vs, got, tc.want)
+		}
+	}
+}
+
+// TestFormatValue pins the go-bench-like rendering.
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{42, "42"},
+		{748.5, "748.5"},
+		{0.125, "0.125"},
+		{61204667, "61204667"},
+	}
+	for _, tc := range cases {
+		if got := formatValue(tc.v); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package schemanet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"schemanet/internal/core"
+)
+
+// ConcurrentSession serves one reconciliation session to many
+// goroutines at once — the paper's pay-as-you-go loop is inherently
+// interactive, with many experts asserting in parallel against the same
+// network. It exploits the component decomposition's independence
+// guarantee (no constraint violation ever spans two
+// constraint-connected components, see DESIGN.md):
+//
+//   - Reads — Probability, Uncertainty, Suggest — are lock-free: they
+//     load an atomically-published immutable snapshot per component
+//     (probabilities, cached entropy term, gain ranking) and never
+//     block on writers.
+//   - Writes — Assert, AssertBatch — take one lock per touched
+//     component. Assertions on different components proceed in
+//     parallel (view maintenance, resampling, and re-ranking are all
+//     component-local); assertions on the same component serialize.
+//   - Each component samples from its own deterministic rng stream
+//     (seeded from the session seed at construction), so a
+//     component-disjoint assertion schedule produces probabilities
+//     bit-identical to the same schedule applied serially — however the
+//     goroutines interleave.
+//
+// Obtain one with Session.Concurrent or NewConcurrentSession. All
+// ConcurrentSession methods are safe for concurrent use.
+type ConcurrentSession struct {
+	s   *Session
+	pmn *core.PMN
+
+	// locks[k] serializes all maintenance of component k. Multi-lock
+	// paths (Instantiate, Save) acquire in ascending component order;
+	// feedMu is only ever taken while holding at most the locks already
+	// held, and always after them — the lock order "component locks
+	// ascending, then feedMu" is acyclic.
+	locks []sync.Mutex
+	// snaps[k] is component k's published snapshot; writers store a
+	// fresh snapshot after maintenance, readers only Load.
+	snaps []atomic.Pointer[core.ComponentSnapshot]
+	// feedMu guards the PMN-global feedback (history + F±): recording
+	// is cheap and strictly serialized, while the expensive
+	// component maintenance reads only component-local feedback masks.
+	feedMu sync.Mutex
+	// batchMu closes AssertBatch's record→apply window against the
+	// whole-network operations: a batch holds the read side from before
+	// it records the feedback until every component group has been
+	// applied, and lockAll takes the write side first, so Instantiate
+	// and Save can never observe feedback recorded for a batch whose
+	// stores and probabilities are still pre-batch. Single Asserts need
+	// no part in this — they record and apply under their component's
+	// lock, which lockAll already excludes. Lock order: batchMu, then
+	// component locks ascending, then feedMu.
+	batchMu sync.RWMutex
+	// sugMu guards the suggestion rng only. Suggest still never touches
+	// a component lock — tie-breaking draws are the one bit of shared
+	// state reads need.
+	sugMu  sync.Mutex
+	sugRng *rand.Rand
+
+	workers int
+}
+
+// Concurrent wraps the session for concurrent serving. The wrapper
+// takes ownership: after the call, use only the ConcurrentSession —
+// calling methods on the underlying Session concurrently with the
+// wrapper is the unsynchronized access the wrapper exists to prevent.
+func (s *Session) Concurrent() *ConcurrentSession {
+	n := s.pmn.NumComponents()
+	cs := &ConcurrentSession{
+		s:       s,
+		pmn:     s.pmn,
+		locks:   make([]sync.Mutex, n),
+		snaps:   make([]atomic.Pointer[core.ComponentSnapshot], n),
+		workers: s.workers,
+		// The suggestion stream is deliberately distinct from the
+		// session rng: the component samplers may share the session rng
+		// on the single-component path, and suggestions must never
+		// perturb (or race with) sampling draws.
+		sugRng: rand.New(rand.NewSource(s.seed ^ 0x5eed5a17)),
+	}
+	// A fresh session is gain-stale everywhere: one worker-sharded cold
+	// ranking pass (the serial path's machinery) beats ranking each
+	// component sequentially in the snapshot loop, which then finds
+	// every component already ranked.
+	s.pmn.InformationGains()
+	for k := 0; k < n; k++ {
+		cs.snaps[k].Store(s.pmn.SnapshotComponent(k))
+	}
+	return cs
+}
+
+// NewConcurrentSession builds a session for the network's candidate
+// correspondences and wraps it for concurrent serving in one step.
+func NewConcurrentSession(net *Network, opts *Options) (*ConcurrentSession, error) {
+	s, err := NewSession(net, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Concurrent(), nil
+}
+
+// Network returns the session's network.
+func (cs *ConcurrentSession) Network() *Network { return cs.pmn.Network() }
+
+// Components returns how many constraint-connected components the
+// network decomposes into — the session's maximal write parallelism.
+func (cs *ConcurrentSession) Components() int { return cs.pmn.NumComponents() }
+
+// ComponentOf returns the component candidate c belongs to. The
+// partition is immutable, so the lookup takes no lock. It returns
+// ErrUnknownCandidate (wrapped) for an out-of-universe c.
+func (cs *ConcurrentSession) ComponentOf(c int) (int, error) {
+	return cs.s.ComponentOf(c)
+}
+
+// Describe renders candidate c with its schemas, attributes, and
+// matcher confidence; a placeholder for an out-of-universe c, as on
+// Session.
+func (cs *ConcurrentSession) Describe(c int) string {
+	return cs.s.Describe(c)
+}
+
+// Violations returns the number of distinct constraint violations among
+// the raw candidate correspondences. It reads only immutable compiled
+// constraint state and takes no lock.
+func (cs *ConcurrentSession) Violations() int {
+	return cs.s.engine.ViolationCount(cs.s.engine.FullInstance())
+}
+
+// Probability returns the current probability of candidate c from the
+// owning component's published snapshot, without blocking on writers.
+// It returns ErrUnknownCandidate (wrapped) for an out-of-universe c.
+func (cs *ConcurrentSession) Probability(c int) (float64, error) {
+	if err := cs.s.checkCandidate(c); err != nil {
+		return 0, err
+	}
+	snap := cs.snaps[cs.pmn.ComponentOf(c)].Load()
+	return snap.ProbabilityAt(cs.pmn.LocalIndex(c)), nil
+}
+
+// Uncertainty returns the network uncertainty H(C, P) (Equation 3) as
+// the sum of the published per-component entropy terms. Each term is
+// internally consistent; the sum reflects each component's most
+// recently published state rather than one global instant.
+func (cs *ConcurrentSession) Uncertainty() float64 {
+	h := 0.0
+	for k := range cs.snaps {
+		h += cs.snaps[k].Load().Entropy()
+	}
+	return h
+}
+
+// Suggest returns the candidate whose assertion is expected to reduce
+// network uncertainty the most, merging the per-component maximal-gain
+// tie sets from the published snapshots without taking any component's
+// write lock. Ties are broken uniformly at random, as in the serial
+// strategy; once no uncertain candidate remains anywhere it degrades to
+// random among the unasserted rest. ok is false when every candidate
+// has been asserted.
+func (cs *ConcurrentSession) Suggest() (c int, ok bool) {
+	best := -1.0
+	var ties []int
+	nUnasserted := 0
+	snaps := make([]*core.ComponentSnapshot, len(cs.snaps))
+	for k := range cs.snaps {
+		snap := cs.snaps[k].Load()
+		snaps[k] = snap
+		nUnasserted += len(snap.Unasserted())
+		compBest, g := snap.Best()
+		switch {
+		case len(compBest) == 0:
+		case g > best:
+			best = g
+			ties = append(ties[:0], compBest...)
+		case g == best:
+			ties = append(ties, compBest...)
+		}
+	}
+	if len(ties) > 0 {
+		return ties[cs.intn(len(ties))], true
+	}
+	if nUnasserted == 0 {
+		return 0, false
+	}
+	// Fallback: uniform over the union of the per-component unasserted
+	// pools (every remaining candidate is certain; asserting any of
+	// them changes nothing, matching the serial fallback).
+	i := cs.intn(nUnasserted)
+	for _, snap := range snaps {
+		u := snap.Unasserted()
+		if i < len(u) {
+			return u[i], true
+		}
+		i -= len(u)
+	}
+	// Unreachable: i < nUnasserted by construction.
+	return 0, false
+}
+
+// intn draws from the suggestion rng under its own tiny lock.
+func (cs *ConcurrentSession) intn(n int) int {
+	cs.sugMu.Lock()
+	defer cs.sugMu.Unlock()
+	return cs.sugRng.Intn(n)
+}
+
+// Assert integrates an expert statement about candidate c: the global
+// feedback record is serialized under a short lock, the expensive view
+// maintenance, resampling, and re-ranking run under the owning
+// component's lock only, and the component's fresh snapshot is
+// published before the lock is released. Assertions touching different
+// components proceed in parallel. It returns ErrUnknownCandidate
+// (wrapped) for an out-of-universe c and an error when c was already
+// asserted (no state changes).
+func (cs *ConcurrentSession) Assert(c int, correct bool) error {
+	if err := cs.s.checkCandidate(c); err != nil {
+		return err
+	}
+	k := cs.pmn.ComponentOf(c)
+	cs.locks[k].Lock()
+	defer cs.locks[k].Unlock()
+	cs.feedMu.Lock()
+	err := cs.pmn.RecordAssertion(c, correct)
+	cs.feedMu.Unlock()
+	if err != nil {
+		return err
+	}
+	cs.pmn.ApplyAssertions(k, []Assertion{{Cand: c, Approved: correct}})
+	cs.snaps[k].Store(cs.pmn.SnapshotComponent(k))
+	return nil
+}
+
+// AssertBatch integrates many assertions at once — the asynchronous
+// arrival pattern of a crowd of experts. The batch is validated and
+// recorded atomically (a duplicate, already-asserted, or
+// out-of-universe candidate rejects the whole batch with no state
+// change), then grouped by component and fanned out across a bounded
+// worker pool: each touched component is view-maintained in batch
+// order, refilled at most once, re-ranked, and republished under its
+// own lock. Components never wait for each other; per-component rng
+// streams keep the result identical to applying the same batch
+// serially.
+func (cs *ConcurrentSession) AssertBatch(assertions []Assertion) error {
+	if len(assertions) == 0 {
+		return nil
+	}
+	for i, a := range assertions {
+		if err := cs.s.checkCandidate(a.Cand); err != nil {
+			return fmt.Errorf("assertion %d: %w", i, err)
+		}
+	}
+	cs.batchMu.RLock()
+	defer cs.batchMu.RUnlock()
+	cs.feedMu.Lock()
+	if err := cs.pmn.ValidateBatch(assertions); err != nil {
+		cs.feedMu.Unlock()
+		return err
+	}
+	for _, a := range assertions {
+		if err := cs.pmn.RecordAssertion(a.Cand, a.Approved); err != nil {
+			// Unreachable after validation; surface loudly if it happens.
+			panic(err)
+		}
+	}
+	cs.feedMu.Unlock()
+
+	groups := cs.pmn.GroupByComponent(assertions)
+	comps := make([]int, 0, len(groups))
+	for k := range groups {
+		comps = append(comps, k)
+	}
+	sort.Ints(comps)
+	workers := cs.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 {
+		for _, k := range comps {
+			cs.applyGroup(k, groups[k])
+		}
+		return nil
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(comps) {
+					return
+				}
+				k := comps[i]
+				cs.applyGroup(k, groups[k])
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// applyGroup runs one component's share of a batch under its lock and
+// publishes the fresh snapshot.
+func (cs *ConcurrentSession) applyGroup(k int, as []Assertion) {
+	cs.locks[k].Lock()
+	defer cs.locks[k].Unlock()
+	cs.pmn.ApplyAssertions(k, as)
+	cs.snaps[k].Store(cs.pmn.SnapshotComponent(k))
+}
+
+// Effort returns the fraction of candidates asserted so far.
+func (cs *ConcurrentSession) Effort() float64 {
+	cs.feedMu.Lock()
+	defer cs.feedMu.Unlock()
+	return cs.pmn.Feedback().Effort()
+}
+
+// lockAll acquires the batch exclusion, every component lock in
+// ascending order, and the feedback lock — exclusive access for the
+// whole-network operations, with no in-flight batch half-applied.
+func (cs *ConcurrentSession) lockAll() {
+	cs.batchMu.Lock()
+	for k := range cs.locks {
+		cs.locks[k].Lock()
+	}
+	cs.feedMu.Lock()
+}
+
+func (cs *ConcurrentSession) unlockAll() {
+	cs.feedMu.Unlock()
+	for k := range cs.locks {
+		cs.locks[k].Unlock()
+	}
+	cs.batchMu.Unlock()
+}
+
+// Instantiate derives a trusted matching from the current state (§V,
+// Algorithm 2). The local search reads every component's samples and
+// the full feedback, so it briefly takes exclusive access — assertions
+// issued meanwhile block until it finishes.
+func (cs *ConcurrentSession) Instantiate() *Matching {
+	cs.lockAll()
+	defer cs.unlockAll()
+	return cs.s.Instantiate()
+}
+
+// Save writes the session's feedback so reconciliation can resume later
+// (see LoadSession); concurrent assertions are excluded from the saved
+// history, not torn.
+func (cs *ConcurrentSession) Save(w io.Writer) error {
+	cs.lockAll()
+	defer cs.unlockAll()
+	return cs.s.Save(w)
+}

@@ -1,0 +1,404 @@
+package schemanet_test
+
+// Tests for the concurrent serving layer. The headline differential
+// guarantee: a component-disjoint assertion schedule executed by P
+// concurrent goroutines produces probabilities bit-identical to the
+// same schedule executed serially on a fresh session with the same
+// seed — each component samples from its own deterministic rng stream,
+// so goroutine interleaving cannot perturb the draws. The whole file
+// runs under `go test -race` in CI.
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"schemanet"
+)
+
+// disjointSchedule groups a subset of candidates by component,
+// preserving ascending candidate order within each group.
+func disjointSchedule(t testing.TB, s *schemanet.Session, net *schemanet.Network,
+	truth *schemanet.Matching, keep func(c int) bool) map[int][]schemanet.Assertion {
+	t.Helper()
+	groups := make(map[int][]schemanet.Assertion)
+	for c := 0; c < net.NumCandidates(); c++ {
+		if !keep(c) {
+			continue
+		}
+		k, err := s.ComponentOf(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[k] = append(groups[k], schemanet.Assertion{
+			Cand: c, Approved: truth.ContainsCorrespondence(net.Candidate(c)),
+		})
+	}
+	return groups
+}
+
+// TestConcurrentDisjointScheduleMatchesSerial drives a sampled (not
+// exact) multi-component network, so the comparison exercises the
+// per-component rng streams, not just deterministic enumeration. Only
+// every third candidate is asserted, keeping the stores sampled and
+// the probabilities fractional.
+func TestConcurrentDisjointScheduleMatchesSerial(t *testing.T) {
+	d := benchMultiComponentDataset(t, 240, 4)
+	net := d.Network
+	opts := &schemanet.Options{Seed: 42, Samples: 150}
+
+	serial, err := schemanet.NewSession(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := schemanet.NewConcurrentSession(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Components() < 4 {
+		t.Fatalf("merged network has %d components, want ≥ 4", conc.Components())
+	}
+
+	groups := disjointSchedule(t, serial, net, d.GroundTruth, func(c int) bool { return c%3 == 0 })
+
+	// Serial reference: component groups in ascending order, candidates
+	// in schedule order.
+	for k := 0; k < conc.Components(); k++ {
+		if as, ok := groups[k]; ok {
+			for _, a := range as {
+				if err := serial.Assert(a.Cand, a.Approved); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Concurrent execution: one goroutine per component.
+	var wg sync.WaitGroup
+	errs := make([]error, 0)
+	var errMu sync.Mutex
+	for _, as := range groups {
+		wg.Add(1)
+		go func(as []schemanet.Assertion) {
+			defer wg.Done()
+			for _, a := range as {
+				if err := conc.Assert(a.Cand, a.Approved); err != nil {
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
+					return
+				}
+			}
+		}(as)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		t.Fatal(err)
+	}
+
+	for c := 0; c < net.NumCandidates(); c++ {
+		sp := mustProb(t, serial, c)
+		cp, err := conc.Probability(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp != cp {
+			t.Fatalf("p(%d): serial %v != concurrent %v", c, sp, cp)
+		}
+	}
+	if sh, ch := serial.Uncertainty(), conc.Uncertainty(); sh != ch {
+		t.Fatalf("H: serial %v != concurrent %v", sh, ch)
+	}
+}
+
+// TestConcurrentBatchMatchesSerialExact: under Options.Exact a batch
+// fanned out across the worker pool must land on exactly the serial
+// step-by-step probabilities (enumeration is deterministic, so the
+// comparison is strict equality).
+func TestConcurrentBatchMatchesSerialExact(t *testing.T) {
+	net, truth := multiVideoNet(t, 5)
+	serial, err := schemanet.NewSession(net, &schemanet.Options{Exact: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Exact: true, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []schemanet.Assertion
+	for c := 0; c < net.NumCandidates(); c += 2 {
+		batch = append(batch, schemanet.Assertion{
+			Cand: c, Approved: truth.ContainsCorrespondence(net.Candidate(c)),
+		})
+	}
+	for _, a := range batch {
+		if err := serial.Assert(a.Cand, a.Approved); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conc.AssertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < net.NumCandidates(); c++ {
+		if sp, cp := mustProb(t, serial, c), mustProb(t, conc, c); sp != cp {
+			t.Fatalf("p(%d): serial %v != concurrent batch %v", c, sp, cp)
+		}
+	}
+}
+
+// TestConcurrentReadsDuringWrites hammers the lock-free read paths
+// while writers reconcile disjoint components — the race detector
+// turns any snapshot-discipline violation into a failure.
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	net, truth := multiVideoNet(t, 6)
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Seed: 3, Samples: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := schemanet.NewSession(net, &schemanet.Options{Seed: 3, Samples: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := disjointSchedule(t, serial, net, truth, func(int) bool { return true })
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for c := 0; c < net.NumCandidates(); c++ {
+					if p, err := conc.Probability(c); err != nil || p < 0 || p > 1 {
+						t.Errorf("Probability(%d) = %v, %v", c, p, err)
+						return
+					}
+				}
+				if h := conc.Uncertainty(); math.IsNaN(h) || h < 0 {
+					t.Errorf("Uncertainty = %v", h)
+					return
+				}
+				conc.Suggest()
+				conc.Effort()
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for _, as := range groups {
+		writers.Add(1)
+		go func(as []schemanet.Assertion) {
+			defer writers.Done()
+			for _, a := range as {
+				if err := conc.Assert(a.Cand, a.Approved); err != nil {
+					t.Errorf("Assert(%d): %v", a.Cand, err)
+					return
+				}
+			}
+		}(as)
+	}
+	writers.Wait()
+	close(done)
+	readers.Wait()
+
+	if got := conc.Instantiate(); got.Size() == 0 {
+		t.Fatal("empty instantiation after full concurrent reconciliation")
+	}
+	if h := conc.Uncertainty(); h != 0 {
+		t.Fatalf("uncertainty %v after full feedback, want 0", h)
+	}
+}
+
+// TestConcurrentSuggestDrains: the merged lock-free suggestion loop
+// must drain every component's uncertainty, then degrade to the
+// unasserted fallback, then report exhaustion.
+func TestConcurrentSuggestDrains(t *testing.T) {
+	net, truth := multiVideoNet(t, 3)
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Exact: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		c, ok := conc.Suggest()
+		if !ok {
+			break
+		}
+		if err := conc.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+		if steps++; steps > net.NumCandidates() {
+			t.Fatal("suggestion loop did not terminate")
+		}
+	}
+	if steps != net.NumCandidates() {
+		t.Fatalf("drained %d candidates, want %d", steps, net.NumCandidates())
+	}
+	if h := conc.Uncertainty(); h != 0 {
+		t.Fatalf("uncertainty %v after draining, want 0", h)
+	}
+	if e := conc.Effort(); e != 1 {
+		t.Fatalf("effort %v after draining, want 1", e)
+	}
+}
+
+// TestConcurrentSingleComponent covers the trivial-partition path (one
+// lock, whole-universe snapshots) end to end.
+func TestConcurrentSingleComponent(t *testing.T) {
+	net, truth := videoNet(t)
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Exact: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Components() != 1 {
+		t.Fatalf("components = %d, want 1", conc.Components())
+	}
+	for {
+		c, ok := conc.Suggest()
+		if !ok {
+			break
+		}
+		if err := conc.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trusted := conc.Instantiate()
+	if trusted.Size() != 3 || trusted.IntersectionSize(truth) != 3 {
+		t.Fatalf("instantiation %v, want the truth triangle", trusted.Pairs())
+	}
+}
+
+// TestConcurrentSessionBadInput: the serving layer must reject — never
+// panic on — out-of-universe candidates, double assertions, and
+// malformed batches, all without state changes.
+func TestConcurrentSessionBadInput(t *testing.T) {
+	net, _ := multiVideoNet(t, 2)
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Exact: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := net.NumCandidates()
+	for _, c := range []int{-1, n, n + 7} {
+		if err := conc.Assert(c, true); !errors.Is(err, schemanet.ErrUnknownCandidate) {
+			t.Fatalf("Assert(%d) err = %v, want ErrUnknownCandidate", c, err)
+		}
+		if _, err := conc.Probability(c); !errors.Is(err, schemanet.ErrUnknownCandidate) {
+			t.Fatalf("Probability(%d) err = %v, want ErrUnknownCandidate", c, err)
+		}
+		if _, err := conc.ComponentOf(c); !errors.Is(err, schemanet.ErrUnknownCandidate) {
+			t.Fatalf("ComponentOf(%d) err = %v, want ErrUnknownCandidate", c, err)
+		}
+		if d := conc.Describe(c); !strings.Contains(d, "unknown candidate") {
+			t.Fatalf("Describe(%d) = %q, want a placeholder (and no panic)", c, d)
+		}
+	}
+	if err := conc.Assert(0, true); err != nil {
+		t.Fatal(err)
+	}
+	// The routine serving collision: two experts handed the same
+	// suggestion — the loser must get the classifiable sentinel.
+	if err := conc.Assert(0, false); !errors.Is(err, schemanet.ErrAlreadyAsserted) {
+		t.Fatalf("double assert err = %v, want ErrAlreadyAsserted", err)
+	}
+
+	// A rejected batch must leave no trace: capture the full state
+	// fingerprint first.
+	h0 := conc.Uncertainty()
+	e0 := conc.Effort()
+	probs0 := make([]float64, n)
+	for c := range probs0 {
+		probs0[c] = mustProb(t, conc, c)
+	}
+	for name, batch := range map[string][]schemanet.Assertion{
+		"out-of-universe":  {{Cand: 1, Approved: true}, {Cand: n, Approved: true}},
+		"duplicate":        {{Cand: 1, Approved: true}, {Cand: 1, Approved: false}},
+		"already-asserted": {{Cand: 1, Approved: true}, {Cand: 0, Approved: true}},
+	} {
+		if err := conc.AssertBatch(batch); err == nil {
+			t.Fatalf("%s batch must fail", name)
+		}
+		for c := range probs0 {
+			if p := mustProb(t, conc, c); p != probs0[c] {
+				t.Fatalf("%s batch leaked state: p(%d) %v -> %v", name, c, probs0[c], p)
+			}
+		}
+		if h := conc.Uncertainty(); h != h0 {
+			t.Fatalf("%s batch leaked state: H %v -> %v", name, h0, h)
+		}
+		if e := conc.Effort(); e != e0 {
+			t.Fatalf("%s batch leaked state: effort %v -> %v", name, e0, e)
+		}
+	}
+	if err := conc.AssertBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestConcurrentAssertsSameComponentSerialize: contended same-component
+// assertions are all applied (serialized by the component lock), ending
+// in a fully asserted component.
+func TestConcurrentAssertsSameComponentSerialize(t *testing.T) {
+	net, truth := videoNet(t)
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Exact: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < net.NumCandidates(); c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if err := conc.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+				t.Errorf("Assert(%d): %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if e := conc.Effort(); e != 1 {
+		t.Fatalf("effort %v, want 1", e)
+	}
+	for c := 0; c < net.NumCandidates(); c++ {
+		want := 0.0
+		if truth.ContainsCorrespondence(net.Candidate(c)) {
+			want = 1
+		}
+		if got := mustProb(t, conc, c); got != want {
+			t.Fatalf("p(%d) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+// TestConcurrentSaveRoundTrip: a snapshot saved mid-flight restores to
+// a working serial session.
+func TestConcurrentSaveRoundTrip(t *testing.T) {
+	net, truth := multiVideoNet(t, 2)
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Exact: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		if err := conc.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := conc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := schemanet.LoadSession(net, &schemanet.Options{Exact: true, Seed: 4}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < net.NumCandidates(); c++ {
+		if got, want := mustProb(t, restored, c), mustProb(t, conc, c); got != want {
+			t.Fatalf("restored p(%d) = %v, want %v", c, got, want)
+		}
+	}
+}

@@ -69,7 +69,7 @@ func TestDecomposedMatchesMonolithicExact(t *testing.T) {
 	compare := func(step string) {
 		t.Helper()
 		for c := 0; c < net.NumCandidates(); c++ {
-			if dp, mp := dec.Probability(c), mono.Probability(c); dp != mp {
+			if dp, mp := mustProb(t, dec, c), mustProb(t, mono, c); dp != mp {
 				t.Fatalf("%s: p(%d) decomposed %v != monolithic %v", step, c, dp, mp)
 			}
 		}
@@ -160,7 +160,7 @@ func TestDecomposedSampledStatisticallyEquivalent(t *testing.T) {
 			t.Fatal(err)
 		}
 		for c := 0; c < net.NumCandidates(); c++ {
-			if got, want := s.Probability(c), exact.Probability(c); math.Abs(got-want) > 1e-9 {
+			if got, want := mustProb(t, s, c), mustProb(t, exact, c); math.Abs(got-want) > 1e-9 {
 				t.Fatalf("monolithic=%v: p(%d) = %v, want %v (store should cover all instances)",
 					opts.Monolithic, c, got, want)
 			}

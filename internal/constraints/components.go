@@ -99,7 +99,18 @@ func (uf *unionFind) union(a, b int) {
 // constraints — compilations that are neither pairwise nor gated, whose
 // violation structure the index cannot see — return the trivial
 // one-component partition.
+//
+// The partition is computed once per engine family (forks share the
+// cache) and the same immutable value is returned on every call, so
+// Components doubles as the component-index lookup of the concurrent
+// serving layer: ComponentOf on the returned partition is a plain slice
+// read, safe from any goroutine.
 func (e *Engine) Components() *Partition {
+	e.parts.once.Do(func() { e.parts.p = e.computeComponents() })
+	return e.parts.p
+}
+
+func (e *Engine) computeComponents() *Partition {
 	n := e.net.NumCandidates()
 	if e.idx == nil || len(e.idx.residual) > 0 {
 		return singlePartition(n)

@@ -3,6 +3,7 @@ package constraints
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"schemanet/internal/bitset"
 	"schemanet/internal/schema"
@@ -22,21 +23,33 @@ import (
 // against.
 //
 // Concurrency: the query methods (HasConflict, ConflictsWith,
-// Violations, Consistent, CanAdd, Maximal, ViolationCount) are safe for
-// concurrent use after construction. Maximize and Repair reuse
-// engine-owned scratch and must be externally serialized — every
-// current caller (the sampler, the local search) owns its engine.
+// Violations, Consistent, CanAdd, Maximal, ViolationCount, Components)
+// are safe for concurrent use after construction — the network, the
+// constraint set, and the compiled conflict index are all immutable.
+// Maximize and Repair reuse engine-owned scratch and must be externally
+// serialized; callers that need those primitives from several
+// goroutines give each goroutine its own Fork, which shares the
+// immutable compiled material and owns only the scratch.
 type Engine struct {
-	net  *schema.Network
-	cons []Constraint
-	idx  *conflictIndex // nil on the interpreted reference path
+	net   *schema.Network
+	cons  []Constraint
+	idx   *conflictIndex  // nil on the interpreted reference path
+	parts *partitionCache // lazily computed partition, shared across forks
 
-	// Scratch reused by the mutating primitives.
+	// Scratch reused by the mutating primitives; per fork.
 	order    []int       // Maximize: visit order
 	blocked  *bitset.Set // Maximize: inst ∪ excluded ∪ conflict rows of inst
 	counts   []int32     // Repair: per-candidate violation counts
 	touched  []int       // Repair: candidates with counts[c] > 0
 	chainBuf []int       // Repair: chain buffer for streaming enumeration
+}
+
+// partitionCache memoizes Engine.Components once per engine family: the
+// partition depends only on the immutable compiled index, so forks share
+// one cache and concurrent first calls race benignly through sync.Once.
+type partitionCache struct {
+	once sync.Once
+	p    *Partition
 }
 
 // NewEngine binds the constraints to the network and compiles them. The
@@ -53,7 +66,17 @@ func NewEngine(net *schema.Network, cons ...Constraint) *Engine {
 // reference implementation kept for differential testing and debugging
 // (the CondCounts pattern); production callers want NewEngine.
 func NewInterpreted(net *schema.Network, cons ...Constraint) *Engine {
-	return &Engine{net: net, cons: cons}
+	return &Engine{net: net, cons: cons, parts: &partitionCache{}}
+}
+
+// Fork returns an engine sharing this engine's network, constraint set,
+// compiled conflict index, and partition cache, with fresh scratch
+// buffers. The shared material is immutable, so distinct forks may run
+// the mutating primitives (Maximize, Repair) concurrently — this is how
+// a decomposed PMN gives every component its own sampler without
+// paying a recompilation per component.
+func (e *Engine) Fork() *Engine {
+	return &Engine{net: e.net, cons: e.cons, idx: e.idx, parts: e.parts}
 }
 
 // Default returns the compiled engine with the paper's constraint set

@@ -5,10 +5,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"schemanet/internal/bitset"
 )
+
+// ErrAlreadyAsserted reports a candidate that already carries an
+// assertion (assertions are correct and final, §II-B). Concurrent
+// Suggest→Assert loops hit it routinely — two experts can be handed the
+// same suggestion and the loser's Assert fails with this — so callers
+// need an errors.Is target to classify the collision as "retry
+// Suggest" rather than a real failure.
+var ErrAlreadyAsserted = errors.New("candidate already asserted")
 
 // Assertion is one expert statement about a candidate correspondence.
 type Assertion struct {
@@ -38,7 +47,7 @@ func (f *Feedback) Disapprove(c int) error { return f.assert(c, false) }
 
 func (f *Feedback) assert(c int, approve bool) error {
 	if f.approved.Has(c) || f.disapproved.Has(c) {
-		return fmt.Errorf("core: candidate %d already asserted", c)
+		return fmt.Errorf("core: candidate %d: %w", c, ErrAlreadyAsserted)
 	}
 	if approve {
 		f.approved.Add(c)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"schemanet/internal/bitset"
 	"schemanet/internal/constraints"
@@ -45,18 +46,44 @@ func DefaultConfig() Config {
 }
 
 // component is one constraint-connected component of the PMN: its own
-// sample space Ω_k, sampler, and cached entropy term. Constraints never
-// couple candidates across components, so probabilities and entropies
-// factorize — H(C, P) = Σ_k H_k — and an assertion view-maintains and
-// resamples only its own component (see DESIGN.md, "Component
-// decomposition").
+// sample space Ω_k, engine fork, sampler, component-scoped feedback
+// masks, and cached entropy term. Constraints never couple candidates
+// across components, so probabilities and entropies factorize —
+// H(C, P) = Σ_k H_k — and an assertion view-maintains and resamples
+// only its own component (see DESIGN.md, "Component decomposition").
+//
+// Everything a component's maintenance touches lives in this struct (or
+// in the component-disjoint slices of the PMN it writes through): the
+// engine fork owns the walk scratch, the sampler owns the component's
+// rng stream, and approved/disapproved mirror F ∩ members. That closure
+// is what lets a concurrent serving layer maintain different components
+// from different goroutines with one lock per component and no shared
+// mutable reads (see DESIGN.md, "Concurrent serving").
 type component struct {
-	members  []int          // global candidate ids, ascending; nil = whole universe
-	mask     *bitset.Set    // members as a mask; nil = whole universe
-	sampler  *sampling.Sampler
-	store    *sampling.Store
-	exactAll bool    // probabilities come from exhaustive enumeration
-	entropy  float64 // cached H_k = Σ_{c ∈ members} H(p_c)
+	members []int       // global candidate ids, ascending; nil = whole universe
+	mask    *bitset.Set // members as a mask; nil = whole universe
+	engine  *constraints.Engine
+	sampler *sampling.Sampler
+	store   *sampling.Store
+	// approved/disapproved are F+ ∩ members and F− ∩ members (global
+	// indexing). Component maintenance reads only these — never the
+	// PMN-global feedback — because the restricted forms F ∩ within that
+	// every component-scoped operation derives (see FeedbackWithin) are
+	// identical either way, and component-local masks are writable under
+	// a per-component lock while the global sets are not.
+	approved    *bitset.Set
+	disapproved *bitset.Set
+	exactAll    bool    // probabilities come from exhaustive enumeration
+	entropy     float64 // cached H_k = Σ_{c ∈ members} H(p_c)
+	// rankScratch is reused by EnsureComponentGains; owned by the
+	// component (used only under the component's lock in concurrent
+	// serving), so the eager per-assertion re-rank does not re-allocate.
+	rankScratch *igScratch
+}
+
+// isAsserted reports whether member c has been asserted either way.
+func (c *component) isAsserted(cand int) bool {
+	return c.approved.Has(cand) || c.disapproved.Has(cand)
 }
 
 // PMN is a probabilistic matching network ⟨N, P⟩: a network of schemas
@@ -80,8 +107,8 @@ type PMN struct {
 	compOf    []int   // candidate -> index into comps
 	localIdx  []int32 // candidate -> column index inside its component's store
 	probs     []float64
-	maxComp   int // size of the largest component (scratch sizing)
-	resamples int // post-construction refill rounds (observability)
+	maxComp   int          // size of the largest component (scratch sizing)
+	resamples atomic.Int64 // post-construction refill rounds (observability)
 
 	// gains caches IG(c) per candidate. Information gain is
 	// component-local (see InformationGain), so an assertion staleness-
@@ -89,6 +116,20 @@ type PMN struct {
 	// that component's members — the others' cached gains stay valid.
 	gains      []float64
 	gainsStale []bool // per component
+}
+
+// newComponent wires one component: an engine fork of its own (walk
+// scratch is engine-owned, so concurrent component maintenance needs
+// per-component forks), a sampler over that fork, and empty
+// component-scoped feedback masks.
+func newComponent(engine *constraints.Engine, scfg sampling.Config, rng *rand.Rand, n int) *component {
+	fork := engine.Fork()
+	return &component{
+		engine:      fork,
+		sampler:     sampling.NewSampler(fork, scfg, rng),
+		approved:    bitset.New(n),
+		disapproved: bitset.New(n),
+	}
 }
 
 // New builds a probabilistic matching network and computes the initial
@@ -112,11 +153,8 @@ func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
 		// select the unrestricted code paths everywhere, and the shared
 		// session rng keeps the sampling stream identical to the
 		// pre-decomposition implementation.
-		smp := sampling.NewSampler(engine, cfg.Sampler, rng)
-		c := &component{
-			sampler: smp,
-			store:   sampling.NewStore(n, smp.Config().NMin),
-		}
+		c := newComponent(engine, cfg.Sampler, rng, n)
+		c.store = sampling.NewStore(n, c.sampler.Config().NMin)
 		p.comps = []*component{c}
 		p.compOf = make([]int, n)
 		p.localIdx = nil
@@ -135,7 +173,10 @@ func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
 				p.maxComp = len(members)
 			}
 			// Each component samples from its own deterministic stream, so
-			// resampling one component never perturbs the others' draws.
+			// resampling one component never perturbs the others' draws —
+			// and maintenance of component-disjoint assertions commutes
+			// bit-for-bit, which is what makes concurrent serving
+			// reproducible.
 			crng := rand.New(rand.NewSource(rng.Int63()))
 			scfg := cfg.Sampler
 			if scfg.StagnationLimit == 0 {
@@ -145,13 +186,11 @@ func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
 				// stopping disabled (see sampling.Config.StagnationLimit).
 				scfg.StagnationLimit = 8*len(members) + 128
 			}
-			smp := sampling.NewSampler(engine, scfg, crng)
-			p.comps[k] = &component{
-				members: members,
-				mask:    bitset.FromIndices(n, members...),
-				sampler: smp,
-				store:   sampling.NewComponentStore(n, smp.Config().NMin, members, p.localIdx),
-			}
+			c := newComponent(engine, scfg, crng, n)
+			c.members = members
+			c.mask = bitset.FromIndices(n, members...)
+			c.store = sampling.NewComponentStore(n, c.sampler.Config().NMin, members, p.localIdx)
+			p.comps[k] = c
 		}
 	}
 
@@ -228,8 +267,21 @@ func (p *PMN) InvalidateGains() {
 // Resamples returns the number of post-construction refill rounds
 // (component-scoped; one batch assertion triggers at most one per
 // touched component). Tests and diagnostics use it to verify that
-// session replay does not resample per history entry.
-func (p *PMN) Resamples() int { return p.resamples }
+// session replay does not resample per history entry. The counter is
+// atomic so concurrent component maintenance can bump it without a
+// lock.
+func (p *PMN) Resamples() int { return int(p.resamples.Load()) }
+
+// LocalIndex returns candidate c's column index inside its component's
+// store and snapshots (the identity when the PMN is a single
+// whole-universe component). The mapping is immutable after
+// construction and safe to call from any goroutine.
+func (p *PMN) LocalIndex(c int) int {
+	if p.localIdx == nil {
+		return c
+	}
+	return int(p.localIdx[c])
+}
 
 // refillComp populates component k's store per §III-B: for the exact
 // configuration it enumerates the component's instances; otherwise it
@@ -240,7 +292,7 @@ func (p *PMN) refillComp(k int) {
 	c := p.comps[k]
 	if p.cfg.Exact {
 		instances, err := sampling.EnumerateWithin(
-			p.engine, p.feedback.Approved(), p.feedback.Disapproved(), c.mask, p.cfg.ExactLimit)
+			c.engine, c.approved, c.disapproved, c.mask, p.cfg.ExactLimit)
 		if err == nil {
 			n := p.Network().NumCandidates()
 			nmin := c.sampler.Config().NMin
@@ -260,7 +312,7 @@ func (p *PMN) refillComp(k int) {
 		c.exactAll = false
 	}
 	for round := 0; round < 2 && c.store.NeedsResample(); round++ {
-		c.sampler.SampleWithin(c.store, p.feedback.Approved(), p.feedback.Disapproved(), c.mask, p.cfg.Samples)
+		c.sampler.SampleWithin(c.store, c.approved, c.disapproved, c.mask, p.cfg.Samples)
 	}
 	if c.store.NeedsResample() {
 		// Two consecutive samplings could not reach n_min: the actual
@@ -281,24 +333,26 @@ func (p *PMN) recomputeComp(k int) {
 	h := 0.0
 	if c.members == nil {
 		for cand := range p.probs {
-			h += p.entropyTermAt(cand)
+			h += p.entropyTermAt(c, cand)
 		}
 	} else {
 		for _, cand := range c.members {
-			h += p.entropyTermAt(cand)
+			h += p.entropyTermAt(c, cand)
 		}
 	}
 	c.entropy = h
 }
 
 // entropyTermAt applies the feedback override to p.probs[cand] and
-// returns its binary-entropy contribution.
-func (p *PMN) entropyTermAt(cand int) float64 {
-	if p.feedback.IsApproved(cand) {
+// returns its binary-entropy contribution. The override reads the
+// component-scoped masks (cand is always a member of c), keeping the
+// recomputation free of PMN-global reads.
+func (p *PMN) entropyTermAt(c *component, cand int) float64 {
+	if c.approved.Has(cand) {
 		p.probs[cand] = 1
 		return 0
 	}
-	if p.feedback.IsDisapproved(cand) {
+	if c.disapproved.Has(cand) {
 		p.probs[cand] = 0
 		return 0
 	}
@@ -315,21 +369,64 @@ func (p *PMN) Probabilities() []float64 {
 // Probability returns p_c.
 func (p *PMN) Probability(c int) float64 { return p.probs[c] }
 
-// integrate performs the component-scoped maintenance for one recorded
-// assertion: view-maintain the touched component's store and decide
-// whether it needs a refill. The store refill and probability
-// recomputation are left to the caller so a batch of assertions pays
-// for them once per touched component.
-func (p *PMN) integrate(c int, approve bool) (comp int, needRefill bool) {
-	k := p.compOf[c]
-	cp := p.comps[k]
+// integrate performs the component-scoped view maintenance for one
+// recorded assertion: mirror the assertion into the component's feedback
+// masks, view-maintain the store, and decide whether it needs a refill.
+// The store refill and probability recomputation are left to the caller
+// so a batch of assertions pays for them once per touched component.
+func (p *PMN) integrate(cp *component, c int, approve bool) (needRefill bool) {
+	if approve {
+		cp.approved.Add(c)
+	} else {
+		cp.disapproved.Add(c)
+	}
 	cp.store.ApplyAssertion(c, approve)
 	if p.cfg.Exact && cp.exactAll && !approve {
 		// Disapproval can surface instances that were not maximal
 		// before; re-enumerate to stay exact.
-		return k, true
+		return true
 	}
-	return k, cp.store.NeedsResample()
+	return cp.store.NeedsResample()
+}
+
+// RecordAssertion validates one expert assertion and records it in the
+// PMN-global feedback (history + F±) without performing any component
+// maintenance. It is the first half of Assert, split out so a
+// concurrent serving layer can serialize the cheap global record under
+// one short lock and run the expensive ApplyAssertions under the owning
+// component's lock. Callers must serialize RecordAssertion calls with
+// each other.
+func (p *PMN) RecordAssertion(c int, approve bool) error {
+	if c < 0 || c >= len(p.probs) {
+		return fmt.Errorf("core: candidate %d out of range [0,%d)", c, len(p.probs))
+	}
+	return p.feedback.assert(c, approve)
+}
+
+// ApplyAssertions performs component k's maintenance for assertions
+// already recorded with RecordAssertion: each assertion is mirrored
+// into the component's feedback masks and view-maintained in order, the
+// store is refilled at most once if any step left it below n_min, and
+// the component's probabilities, entropy term, and gain staleness are
+// refreshed. Every candidate must belong to component k.
+//
+// ApplyAssertions touches only component k's state (plus the
+// component-disjoint entries of the probability and gain vectors), so
+// calls for different components may run concurrently; calls for the
+// same component must be serialized by the caller.
+func (p *PMN) ApplyAssertions(k int, as []Assertion) {
+	cp := p.comps[k]
+	needRefill := false
+	for _, a := range as {
+		if p.integrate(cp, a.Cand, a.Approved) {
+			needRefill = true
+		}
+	}
+	if needRefill {
+		p.refillComp(k)
+		p.resamples.Add(1)
+	}
+	p.recomputeComp(k)
 }
 
 // Assert integrates one expert assertion: the feedback F is updated, the
@@ -338,15 +435,10 @@ func (p *PMN) integrate(c int, approve bool) (comp int, needRefill bool) {
 // (§III-B, step (3) of Algorithm 1). Components the assertion does not
 // touch keep their samples and probabilities verbatim.
 func (p *PMN) Assert(c int, approve bool) error {
-	if err := p.feedback.assert(c, approve); err != nil {
+	if err := p.RecordAssertion(c, approve); err != nil {
 		return err
 	}
-	k, needRefill := p.integrate(c, approve)
-	if needRefill {
-		p.refillComp(k)
-		p.resamples++
-	}
-	p.recomputeComp(k)
+	p.ApplyAssertions(p.compOf[c], []Assertion{{Cand: c, Approved: approve}})
 	return nil
 }
 
@@ -359,6 +451,30 @@ func (p *PMN) Assert(c int, approve bool) error {
 // is validated up front (duplicate or already-asserted candidates
 // reject the whole batch with no state change).
 func (p *PMN) AssertBatch(assertions []Assertion) error {
+	if err := p.ValidateBatch(assertions); err != nil {
+		return err
+	}
+	for _, a := range assertions {
+		if err := p.feedback.assert(a.Cand, a.Approved); err != nil {
+			// Unreachable after validation; surface loudly if it happens.
+			panic(err)
+		}
+	}
+	groups := p.GroupByComponent(assertions)
+	for k := 0; k < len(p.comps); k++ {
+		if as := groups[k]; as != nil {
+			p.ApplyAssertions(k, as)
+		}
+	}
+	return nil
+}
+
+// ValidateBatch checks a batch for out-of-range, in-batch-duplicate,
+// and already-asserted candidates without changing any state — the
+// all-or-nothing precondition shared by AssertBatch and the concurrent
+// serving layer. It reads the global feedback, so callers must
+// serialize it with feedback recording.
+func (p *PMN) ValidateBatch(assertions []Assertion) error {
 	seen := make(map[int]bool, len(assertions))
 	for i, a := range assertions {
 		if a.Cand < 0 || a.Cand >= len(p.probs) {
@@ -368,34 +484,23 @@ func (p *PMN) AssertBatch(assertions []Assertion) error {
 			return fmt.Errorf("core: assertion %d: candidate %d asserted twice in batch", i, a.Cand)
 		}
 		if p.feedback.IsAsserted(a.Cand) {
-			return fmt.Errorf("core: assertion %d: candidate %d already asserted", i, a.Cand)
+			return fmt.Errorf("core: assertion %d: candidate %d: %w", i, a.Cand, ErrAlreadyAsserted)
 		}
 		seen[a.Cand] = true
 	}
-	needRefill := make([]bool, len(p.comps))
-	touched := make([]bool, len(p.comps))
-	for _, a := range assertions {
-		if err := p.feedback.assert(a.Cand, a.Approved); err != nil {
-			// Unreachable after validation; surface loudly if it happens.
-			panic(err)
-		}
-		k, refill := p.integrate(a.Cand, a.Approved)
-		touched[k] = true
-		if refill {
-			needRefill[k] = true
-		}
-	}
-	for k := range p.comps {
-		if !touched[k] {
-			continue
-		}
-		if needRefill[k] {
-			p.refillComp(k)
-			p.resamples++
-		}
-		p.recomputeComp(k)
-	}
 	return nil
+}
+
+// GroupByComponent splits assertions by the owning component of each
+// candidate, preserving relative order within each group. Candidates
+// must be in range.
+func (p *PMN) GroupByComponent(assertions []Assertion) map[int][]Assertion {
+	groups := make(map[int][]Assertion)
+	for _, a := range assertions {
+		k := p.compOf[a.Cand]
+		groups[k] = append(groups[k], a)
+	}
+	return groups
 }
 
 // Uncertain returns the candidates with 0 < p_c < 1, the only ones that

@@ -1,0 +1,86 @@
+package core
+
+// ComponentSnapshot is an immutable, self-contained copy of one
+// component's served state: probabilities, the cached entropy term, the
+// information-gain ranking, and the precomputed suggestion pools. The
+// concurrent serving layer publishes one snapshot per component through
+// an atomic pointer after each assertion, so reads (probability,
+// uncertainty, suggestion) never take a component's write lock — they
+// load the pointer and read frozen data (see DESIGN.md, "Concurrent
+// serving").
+//
+// Probabilities are column-indexed (PMN.LocalIndex); the suggestion
+// pools hold global candidate ids. The gain ranking is folded into the
+// suggestion pools (best/bestGain) rather than copied wholesale —
+// readers never consume per-candidate gains.
+type ComponentSnapshot struct {
+	probs   []float64
+	entropy float64
+	// best holds the uncertain, unasserted members with maximal
+	// information gain (the component's tie set); bestGain is that gain.
+	// best is empty when the component has no uncertain unasserted
+	// member.
+	best     []int
+	bestGain float64
+	// unasserted holds every member not yet asserted, certain or not —
+	// the fallback pool once no uncertain candidate remains anywhere
+	// (mirrors InfoGainStrategy's degradation to random).
+	unasserted []int
+}
+
+// Entropy returns the component's cached uncertainty term H_k.
+func (s *ComponentSnapshot) Entropy() float64 { return s.entropy }
+
+// ProbabilityAt returns the probability of the member at column j
+// (PMN.LocalIndex of a member candidate).
+func (s *ComponentSnapshot) ProbabilityAt(j int) float64 { return s.probs[j] }
+
+// Best returns the component's maximal-gain tie set (global candidate
+// ids, ascending) and its gain. The slice must not be mutated.
+func (s *ComponentSnapshot) Best() ([]int, float64) { return s.best, s.bestGain }
+
+// Unasserted returns the component's unasserted members (global
+// candidate ids, ascending). The slice must not be mutated.
+func (s *ComponentSnapshot) Unasserted() []int { return s.unasserted }
+
+// SnapshotComponent builds a fresh immutable snapshot of component k,
+// re-ranking the component's information gains first if they are stale.
+// Like ApplyAssertions, it reads only component-local state (plus the
+// component's entries of the probability and gain vectors), so calls
+// for different components may run concurrently; calls for the same
+// component must be serialized with that component's maintenance.
+func (p *PMN) SnapshotComponent(k int) *ComponentSnapshot {
+	p.EnsureComponentGains(k)
+	cp := p.comps[k]
+	snap := &ComponentSnapshot{entropy: cp.entropy, bestGain: -1}
+	collect := func(j, c int) {
+		snap.probs[j] = p.probs[c]
+		if cp.isAsserted(c) {
+			return
+		}
+		snap.unasserted = append(snap.unasserted, c)
+		if pc := p.probs[c]; pc > 0 && pc < 1 {
+			switch g := p.gains[c]; {
+			case g > snap.bestGain:
+				snap.bestGain = g
+				snap.best = snap.best[:0]
+				snap.best = append(snap.best, c)
+			case g == snap.bestGain:
+				snap.best = append(snap.best, c)
+			}
+		}
+	}
+	if cp.members == nil {
+		n := len(p.probs)
+		snap.probs = make([]float64, n)
+		for c := 0; c < n; c++ {
+			collect(c, c)
+		}
+	} else {
+		snap.probs = make([]float64, len(cp.members))
+		for j, c := range cp.members {
+			collect(j, c)
+		}
+	}
+	return snap
+}

@@ -57,6 +57,67 @@ func (p *PMN) assertedMask() []bool {
 	return out
 }
 
+// componentAsserted refreshes a universe-sized asserted mask from one
+// component's feedback masks instead of the global history: the ranking
+// pass only ever probes member indices, and the component masks are
+// readable under the component's own lock — no PMN-global state is
+// touched, which is what lets a concurrent serving layer re-rank one
+// component while another component's feedback is being recorded.
+func (p *PMN) componentAsserted(cp *component, out []bool) []bool {
+	if out == nil {
+		out = make([]bool, len(p.probs))
+	} else if cp.members == nil {
+		clear(out)
+	} else {
+		// Only member entries can be set; resetting just those keeps the
+		// refresh O(component).
+		for _, c := range cp.members {
+			out[c] = false
+		}
+	}
+	mark := func(c int) bool { out[c] = true; return true }
+	cp.approved.ForEach(mark)
+	cp.disapproved.ForEach(mark)
+	return out
+}
+
+// EnsureComponentGains re-ranks component k's cached information gains
+// if an assertion staleness-marked them. The pass is sequential (the
+// concurrent serving layer draws its parallelism from components, not
+// from within one component) and reads only component-local state, so
+// calls for different components may run concurrently; calls for the
+// same component must be serialized by the caller. The serial
+// InformationGains path computes identical values.
+func (p *PMN) EnsureComponentGains(k int) {
+	if !p.gainsStale[k] {
+		return
+	}
+	cp := p.comps[k]
+	if cp.rankScratch == nil {
+		cp.rankScratch = p.newScratch(nil)
+	}
+	s := cp.rankScratch
+	s.asserted = p.componentAsserted(cp, s.asserted)
+	rank := func(c int) {
+		p.gains[c] = 0
+		if pc := p.probs[c]; pc > 0 && pc < 1 {
+			if ig := cp.entropy - p.condEntropyComp(cp, c, s); ig > 0 {
+				p.gains[c] = ig
+			}
+		}
+	}
+	if cp.members == nil {
+		for c := range p.probs {
+			rank(c)
+		}
+	} else {
+		for _, c := range cp.members {
+			rank(c)
+		}
+	}
+	p.gainsStale[k] = false
+}
+
 // condEntropyComp computes the component-local part of H(C | c, P) of
 // Equation 4 — the expected uncertainty of c's component after the
 // expert asserts c — from one batched columnar count pass over the

@@ -6,6 +6,7 @@ package oracle
 
 import (
 	"math/rand"
+	"sync"
 
 	"schemanet/internal/schema"
 )
@@ -26,12 +27,18 @@ func (o *GroundTruth) Assert(c schema.Correspondence) bool {
 }
 
 // Noisy wraps another oracle and flips each answer independently with
-// probability ErrRate.
+// probability ErrRate. Assert is safe for concurrent use when the base
+// oracle is: the noise rng is guarded by an internal mutex, so fanned-
+// out experiments (and the concurrent serving layer's many annotators)
+// can share one Noisy without racing on the rand.Rand — a *rand.Rand is
+// not safe for concurrent use, and the race is silent corruption of the
+// generator state, not just nondeterminism.
 type Noisy struct {
 	base interface {
 		Assert(schema.Correspondence) bool
 	}
 	errRate float64
+	mu      sync.Mutex
 	rng     *rand.Rand
 }
 
@@ -42,22 +49,37 @@ func NewNoisy(base interface {
 	return &Noisy{base: base, errRate: errRate, rng: rng}
 }
 
+// Fork returns an independent Noisy over the same base oracle with its
+// own deterministic noise stream. Callers that need per-annotator
+// reproducibility regardless of interleaving give each goroutine a fork
+// instead of contending on one shared stream.
+func (o *Noisy) Fork(seed int64) *Noisy {
+	return &Noisy{base: o.base, errRate: o.errRate, rng: rand.New(rand.NewSource(seed))}
+}
+
 // Assert implements the oracle contract with injected noise.
 func (o *Noisy) Assert(c schema.Correspondence) bool {
 	ans := o.base.Assert(c)
-	if o.rng.Float64() < o.errRate {
+	o.mu.Lock()
+	flip := o.rng.Float64() < o.errRate
+	o.mu.Unlock()
+	if flip {
 		return !ans
 	}
 	return ans
 }
 
 // Counting wraps another oracle and counts assertions; experiments use
-// it to verify effort accounting.
+// it to verify effort accounting. Like Noisy, Assert is safe for
+// concurrent use when the base oracle is (the counter is guarded), so
+// the usual composition NewNoisy(NewCounting(truth), …) can be shared
+// across fanned-out goroutines.
 type Counting struct {
 	base interface {
 		Assert(schema.Correspondence) bool
 	}
-	n int
+	mu sync.Mutex
+	n  int
 }
 
 // NewCounting wraps base.
@@ -69,9 +91,15 @@ func NewCounting(base interface {
 
 // Assert implements the oracle contract.
 func (o *Counting) Assert(c schema.Correspondence) bool {
+	o.mu.Lock()
 	o.n++
+	o.mu.Unlock()
 	return o.base.Assert(c)
 }
 
 // Count returns the number of assertions answered.
-func (o *Counting) Count() int { return o.n }
+func (o *Counting) Count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.n
+}

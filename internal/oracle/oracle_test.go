@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"schemanet/internal/schema"
@@ -61,6 +62,88 @@ func TestNoisyFullErrorInverts(t *testing.T) {
 	}
 	if !o.Assert(schema.Correspondence{A: 0, B: 6}) {
 		t.Fatal("error rate 1 must invert every answer")
+	}
+}
+
+// TestNoisyConcurrentAssert shares one Noisy across goroutines — the
+// usage pattern of fanned-out experiments and the concurrent serving
+// layer. Before the internal mutex, the shared *rand.Rand made this a
+// data race (silent generator-state corruption); the package race job
+// runs this test under `go test -race`.
+func TestNoisyConcurrentAssert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	o := NewNoisy(NewGroundTruth(matching()), 0.3, rng)
+	const workers, trials = 8, 500
+	flips := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < trials; i++ {
+				if !o.Assert(schema.Correspondence{A: 0, B: 5}) {
+					flips[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range flips {
+		total += f
+	}
+	rate := float64(total) / (workers * trials)
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("observed flip rate %.3f under contention, want ≈ 0.3", rate)
+	}
+}
+
+// TestNoisyForkIndependentStreams: forks answer from independent
+// deterministic streams — same seed, same answers.
+func TestNoisyForkIndependentStreams(t *testing.T) {
+	base := NewNoisy(NewGroundTruth(matching()), 0.5, rand.New(rand.NewSource(5)))
+	a, b := base.Fork(77), base.Fork(77)
+	for i := 0; i < 200; i++ {
+		if a.Assert(schema.Correspondence{A: 0, B: 5}) != b.Assert(schema.Correspondence{A: 0, B: 5}) {
+			t.Fatal("same-seed forks diverged")
+		}
+	}
+	// Forks do not advance the parent's stream.
+	parent := NewNoisy(NewGroundTruth(matching()), 0.3, rand.New(rand.NewSource(2)))
+	parent.Fork(1)
+	flips := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if !parent.Assert(schema.Correspondence{A: 0, B: 5}) {
+			flips++
+		}
+	}
+	if rate := float64(flips) / trials; rate < 0.25 || rate > 0.35 {
+		t.Fatalf("parent flip rate %.3f after Fork, want ≈ 0.3", rate)
+	}
+}
+
+// TestCountingConcurrentAssert shares the usual effort-accounting
+// composition Noisy(Counting(truth)) across goroutines; the counter
+// must neither race (the package race job runs this under -race) nor
+// undercount.
+func TestCountingConcurrentAssert(t *testing.T) {
+	cnt := NewCounting(NewGroundTruth(matching()))
+	o := NewNoisy(cnt, 0.2, rand.New(rand.NewSource(6)))
+	const workers, trials = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < trials; i++ {
+				o.Assert(schema.Correspondence{A: 0, B: 5})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cnt.Count(); got != workers*trials {
+		t.Fatalf("Count = %d, want %d", got, workers*trials)
 	}
 }
 

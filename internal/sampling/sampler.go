@@ -55,7 +55,11 @@ func DefaultConfig() Config {
 
 // Sampler draws matching instances for one network and constraint set.
 // A Sampler is not safe for concurrent use (it owns an rng and reuses
-// walk scratch buffers).
+// walk scratch buffers, and the engine's Maximize/Repair primitives
+// reuse engine-owned scratch). Distinct samplers over distinct engine
+// forks (Engine.Fork) with distinct rngs may run concurrently — the
+// decomposed PMN gives each component such a sampler, which is what
+// makes component-disjoint assertions parallelizable.
 type Sampler struct {
 	engine   *constraints.Engine
 	cfg      Config

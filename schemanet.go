@@ -25,6 +25,7 @@
 package schemanet
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -56,6 +57,9 @@ type (
 	SchemaID = schema.SchemaID
 	// Matcher produces candidate correspondences for a network.
 	Matcher = matcher.Matcher
+	// Assertion is one expert statement about a candidate
+	// correspondence, used by the batch APIs (ConcurrentSession.AssertBatch).
+	Assertion = core.Assertion
 )
 
 // NewBuilder starts assembling a network.
@@ -118,6 +122,11 @@ type Options struct {
 	DisableOneToOne bool
 	// Samples per (re)sampling round (default 500).
 	Samples int
+	// StagnationLimit ends a component's sampling round early after this
+	// many consecutive emissions that discovered no new distinct
+	// instance. 0 selects a component-scaled default; negative values
+	// are rejected by NewSession.
+	StagnationLimit int
 	// Exact switches to exhaustive instance enumeration — exact
 	// probabilities per Equation 1, feasible only for small networks.
 	Exact bool
@@ -171,27 +180,76 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
+// validate rejects option values that previously flowed into the core
+// configuration unchecked and produced silent misbehavior (a negative
+// Samples count disabled resampling entirely, a negative worker bound
+// fell back to GOMAXPROCS by accident rather than by contract). The
+// serving layer owns input validation: core packages may assume a
+// well-formed configuration.
+func (o *Options) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"MaxCycleLen", o.MaxCycleLen},
+		{"Samples", o.Samples},
+		{"StagnationLimit", o.StagnationLimit},
+		{"InstantiateIterations", o.InstantiateIterations},
+		{"Workers", o.Workers},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("schemanet: Options.%s must be non-negative, got %d", f.name, f.v)
+		}
+	}
+	return nil
+}
+
 // Session is a pay-as-you-go reconciliation session over one network:
 // it holds the probabilistic matching network, suggests the most
 // informative correspondences for review, integrates assertions, and
 // instantiates a trusted matching on demand.
 //
-// A Session is NOT safe for concurrent use. All methods — including the
-// read-only ones — must be called from a single goroutine (or under
-// external synchronization): Suggest and Instantiate draw from the
-// session's rng and reuse engine-owned scratch, and Assert mutates the
-// probabilistic network in place. The parallelism inside a session
-// (the information-gain ranking shards across Options.Workers, and
-// probabilities decompose by component) is an implementation detail
-// fully contained within each call; it does not make the API
-// thread-safe. Distinct Session values are independent and may be used
-// from distinct goroutines.
+// A Session value itself is NOT safe for concurrent use: its methods
+// must be called from a single goroutine (Suggest and Instantiate draw
+// from the session's rng and reuse engine-owned scratch, and Assert
+// mutates the probabilistic network in place). Distinct Session values
+// are independent and may be used from distinct goroutines.
+//
+// For many experts asserting against the same network in parallel, wrap
+// the session with Concurrent: the resulting ConcurrentSession serves
+// concurrent reads lock-free from per-component snapshots and runs
+// assertions touching different constraint-connected components in
+// parallel; only writes to the same component serialize. See
+// ConcurrentSession for the full model.
 type Session struct {
 	engine   *constraints.Engine
 	pmn      *core.PMN
 	strategy core.Strategy
 	instCfg  instantiate.Config
 	rng      *rand.Rand
+	workers  int   // Options.Workers, for the concurrent wrapper's pool
+	seed     int64 // Options.Seed, for derived deterministic streams
+}
+
+// ErrUnknownCandidate reports a candidate index outside the network's
+// candidate universe. Session and ConcurrentSession return it (wrapped
+// with the offending index) instead of panicking: a serving layer must
+// never crash on bad input.
+var ErrUnknownCandidate = errors.New("schemanet: unknown candidate")
+
+// ErrAlreadyAsserted reports an Assert on a candidate that already
+// carries an assertion. Under concurrent serving this is a routine,
+// benign collision — two experts can be handed the same suggestion and
+// the loser's Assert fails with it — so classify it with errors.Is and
+// retry Suggest rather than treating it as a failure.
+var ErrAlreadyAsserted = core.ErrAlreadyAsserted
+
+// checkCandidate validates a candidate index against the universe.
+func (s *Session) checkCandidate(c int) error {
+	if n := s.pmn.Network().NumCandidates(); c < 0 || c >= n {
+		return fmt.Errorf("%w: index %d outside [0,%d)", ErrUnknownCandidate, c, n)
+	}
+	return nil
 }
 
 // NewSession builds a session for the network's candidate
@@ -202,6 +260,9 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 		return nil, fmt.Errorf("schemanet: network has no candidate correspondences; run Match first")
 	}
 	o := opts.withDefaults()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	var cons []constraints.Constraint
 	if !o.DisableOneToOne {
 		cons = append(cons, constraints.NewOneToOne(net))
@@ -240,6 +301,9 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 	if o.Samples > 0 {
 		cfg.Samples = o.Samples
 	}
+	if o.StagnationLimit > 0 {
+		cfg.Sampler.StagnationLimit = o.StagnationLimit
+	}
 	cfg.Exact = o.Exact
 	cfg.Workers = o.Workers
 	cfg.Monolithic = o.Monolithic
@@ -251,6 +315,8 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 		strategy: strat,
 		instCfg:  instantiate.DefaultConfig(),
 		rng:      rng,
+		workers:  o.Workers,
+		seed:     o.Seed,
 	}
 	s.instCfg.Iterations = o.InstantiateIterations
 	return s, nil
@@ -266,13 +332,25 @@ func (s *Session) Suggest() (c int, ok bool) {
 	return s.strategy.Next(s.pmn, s.rng)
 }
 
-// Assert integrates an expert statement about candidate c.
+// Assert integrates an expert statement about candidate c. It returns
+// ErrUnknownCandidate (wrapped) when c is outside the candidate
+// universe and an error when c was already asserted.
 func (s *Session) Assert(c int, correct bool) error {
+	if err := s.checkCandidate(c); err != nil {
+		return err
+	}
 	return s.pmn.Assert(c, correct)
 }
 
-// Probability returns the current probability of candidate c.
-func (s *Session) Probability(c int) float64 { return s.pmn.Probability(c) }
+// Probability returns the current probability of candidate c, or
+// ErrUnknownCandidate (wrapped) when c is outside the candidate
+// universe.
+func (s *Session) Probability(c int) (float64, error) {
+	if err := s.checkCandidate(c); err != nil {
+		return 0, err
+	}
+	return s.pmn.Probability(c), nil
+}
 
 // Uncertainty returns the network uncertainty H(C, P) (Equation 3).
 func (s *Session) Uncertainty() float64 { return s.pmn.Entropy() }
@@ -287,8 +365,13 @@ func (s *Session) Violations() int {
 }
 
 // Describe renders candidate c with its schemas, attributes, and
-// matcher confidence.
+// matcher confidence. For an out-of-universe c it returns a placeholder
+// string instead of panicking (rendering has no error channel; use
+// Probability or Assert for validation that reports ErrUnknownCandidate).
 func (s *Session) Describe(c int) string {
+	if err := s.checkCandidate(c); err != nil {
+		return fmt.Sprintf("<unknown candidate %d>", c)
+	}
 	return s.Network().DescribeCandidate(c)
 }
 
@@ -298,6 +381,19 @@ func (s *Session) Describe(c int) string {
 // only ever pay for their own component; many small components mean
 // cheap assertions.
 func (s *Session) Components() int { return s.pmn.NumComponents() }
+
+// ComponentOf returns the index of the constraint-connected component
+// candidate c belongs to (always 0 under Options.Monolithic or
+// Options.InterpretedConstraints). Callers routing work across
+// components — e.g. building a component-disjoint assertion schedule
+// for ConcurrentSession — use it to group candidates. It returns
+// ErrUnknownCandidate (wrapped) for an out-of-universe c.
+func (s *Session) ComponentOf(c int) (int, error) {
+	if err := s.checkCandidate(c); err != nil {
+		return 0, err
+	}
+	return s.pmn.ComponentOf(c), nil
+}
 
 // Instantiate derives a trusted matching from the current state: a
 // maximal constraint-consistent set of correspondences with near-minimal

@@ -1,11 +1,27 @@
 package schemanet_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"schemanet"
 )
+
+// prober is the read interface shared by Session and ConcurrentSession.
+type prober interface {
+	Probability(c int) (float64, error)
+}
+
+// mustProb reads a probability, failing the test on an invalid index.
+func mustProb(t testing.TB, s prober, c int) float64 {
+	t.Helper()
+	p, err := s.Probability(c)
+	if err != nil {
+		t.Fatalf("Probability(%d): %v", c, err)
+	}
+	return p
+}
 
 // videoNet builds the §II-A example through the public API.
 func videoNet(t *testing.T) (*schemanet.Network, *schemanet.Matching) {
@@ -126,8 +142,79 @@ func TestSessionDoubleAssertFails(t *testing.T) {
 	if err := s.Assert(0, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Assert(0, false); err == nil {
-		t.Fatal("double assert must fail")
+	if err := s.Assert(0, false); !errors.Is(err, schemanet.ErrAlreadyAsserted) {
+		t.Fatalf("double assert err = %v, want ErrAlreadyAsserted", err)
+	}
+}
+
+// TestSessionRejectsInvalidOptions: negative knobs used to flow into
+// the core configuration unchecked (a negative Samples silently
+// disabled resampling, a negative Workers accidentally meant "all
+// CPUs"); NewSession must reject each with a descriptive error naming
+// the field.
+func TestSessionRejectsInvalidOptions(t *testing.T) {
+	net, _ := videoNet(t)
+	cases := []struct {
+		field string
+		opts  schemanet.Options
+	}{
+		{"Samples", schemanet.Options{Samples: -1}},
+		{"Workers", schemanet.Options{Workers: -2}},
+		{"StagnationLimit", schemanet.Options{StagnationLimit: -3}},
+		{"MaxCycleLen", schemanet.Options{MaxCycleLen: -1}},
+		{"InstantiateIterations", schemanet.Options{InstantiateIterations: -10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.field, func(t *testing.T) {
+			_, err := schemanet.NewSession(net, &tc.opts)
+			if err == nil {
+				t.Fatalf("NewSession accepted negative %s", tc.field)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Fatalf("error %q does not name the field %s", err, tc.field)
+			}
+			if _, err := schemanet.NewConcurrentSession(net, &tc.opts); err == nil {
+				t.Fatalf("NewConcurrentSession accepted negative %s", tc.field)
+			}
+		})
+	}
+	// Valid positive values still pass.
+	if _, err := schemanet.NewSession(net, &schemanet.Options{
+		Samples: 50, Workers: 2, StagnationLimit: 64, Exact: true,
+	}); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+// TestSessionUnknownCandidate: the serving layer must return
+// ErrUnknownCandidate for out-of-universe indices — never panic with a
+// bare index-out-of-range.
+func TestSessionUnknownCandidate(t *testing.T) {
+	net, _ := videoNet(t)
+	s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []int{-1, net.NumCandidates(), net.NumCandidates() + 100} {
+		if err := s.Assert(c, true); !errors.Is(err, schemanet.ErrUnknownCandidate) {
+			t.Fatalf("Assert(%d) err = %v, want ErrUnknownCandidate", c, err)
+		}
+		if _, err := s.Probability(c); !errors.Is(err, schemanet.ErrUnknownCandidate) {
+			t.Fatalf("Probability(%d) err = %v, want ErrUnknownCandidate", c, err)
+		}
+		if _, err := s.ComponentOf(c); !errors.Is(err, schemanet.ErrUnknownCandidate) {
+			t.Fatalf("ComponentOf(%d) err = %v, want ErrUnknownCandidate", c, err)
+		}
+		if d := s.Describe(c); !strings.Contains(d, "unknown candidate") {
+			t.Fatalf("Describe(%d) = %q, want a placeholder (and no panic)", c, d)
+		}
+	}
+	// Valid indices keep working after the rejections.
+	if _, err := s.Probability(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assert(0, true); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -41,8 +41,8 @@ func TestSessionSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("restored uncertainty %v, want %v", got, want)
 	}
 	for c := 0; c < net.NumCandidates(); c++ {
-		if math.Abs(restored.Probability(c)-s.Probability(c)) > 1e-9 {
-			t.Fatalf("restored p(%d) = %v, want %v", c, restored.Probability(c), s.Probability(c))
+		if got, want := mustProb(t, restored, c), mustProb(t, s, c); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("restored p(%d) = %v, want %v", c, got, want)
 		}
 	}
 	// The restored session keeps working.
@@ -124,7 +124,7 @@ func TestSessionSaveLoadMultiComponent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for c := 0; c < net.NumCandidates(); c++ {
-		if got, want := restored.Probability(c), s.Probability(c); math.Abs(got-want) > 1e-9 {
+		if got, want := mustProb(t, restored, c), mustProb(t, s, c); math.Abs(got-want) > 1e-9 {
 			t.Fatalf("restored p(%d) = %v, want %v", c, got, want)
 		}
 	}

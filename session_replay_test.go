@@ -81,7 +81,11 @@ func TestLoadSessionReplaysAtMostOneResampleRound(t *testing.T) {
 		if h.approve {
 			want = 1
 		}
-		if got := restored.Probability(h.c); got != want {
+		got, err := restored.Probability(h.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
 			t.Fatalf("replayed p(%d) = %v, want %v", h.c, got, want)
 		}
 	}
