@@ -11,7 +11,10 @@ SHELL := /bin/bash
 BENCHTIME ?= 1x
 COUNT     ?= 3
 
-.PHONY: all vet build test bench bench-smoke race examples
+# fuzz knob: how long `make fuzz` mutates each target.
+FUZZTIME ?= 20s
+
+.PHONY: all vet build test bench bench-smoke race examples fuzz
 
 all: vet build test
 
@@ -43,3 +46,9 @@ bench-smoke:
 # surface the examples exercise keeps working end to end.
 examples:
 	@set -e; for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" > /dev/null; done; echo "examples OK"
+
+# Native-fuzz smoke over the session_io decoder (LoadSession consumes
+# externally produced files). FUZZTIME per target; crashes land in
+# testdata/fuzz/ as regression cases.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzLoadSession -fuzztime $(FUZZTIME) .

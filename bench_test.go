@@ -200,7 +200,7 @@ func BenchmarkInformationGain(b *testing.B) {
 	for _, size := range []int{128, 256, 512, 2048} {
 		b.Run(benchName(size), func(b *testing.B) {
 			e, rng := benchNetwork(b, size)
-			pmn := core.New(e, core.DefaultConfig(), rng)
+			pmn := core.MustNew(e, core.DefaultConfig(), rng)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pmn.InvalidateGains()
@@ -310,6 +310,58 @@ func BenchmarkSessionAssertMultiComp(b *testing.B) {
 		} {
 			b.Run(fmt.Sprintf("C=%d/comps=%d/%s", size, s.Components(), mode.name), func(b *testing.B) {
 				benchSessionAssertOpts(b, d, d.Network, mode.opts)
+			})
+		}
+	}
+}
+
+// BenchmarkSessionAssertInference is the hybrid-inference crossover
+// benchmark: the same suggest+assert step under the three
+// Options.Inference modes, on the small-component-heavy "multicomp"
+// profile (most components enumerate within the default budget — the
+// regime auto is built for) and on the merged MultiComp networks. The
+// exact mode runs only where a generous budget is known to cover every
+// component; auto needs no such guarantee — that is the point.
+func BenchmarkSessionAssertInference(b *testing.B) {
+	type workload struct {
+		name  string
+		d     *schema.Dataset
+		net   *schema.Network
+		exact bool // forced-exact feasible on this workload
+	}
+	var loads []workload
+
+	// Small-component-heavy profile via the public generator + synthetic
+	// candidates (matcher-independent size control, like benchDataset).
+	rng := rand.New(rand.NewSource(7))
+	small, err := datagen.SyntheticNetwork(datagen.MultiComp(), datagen.SyntheticOpts{
+		TargetCount: 512, Precision: 0.67, ConflictBias: 0.3, StrictCount: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads = append(loads, workload{name: "multicomp/C=512", d: small, net: small.Network})
+
+	merged := benchMultiComponentDataset(b, 512, 4)
+	loads = append(loads, workload{name: "merged/C=512", d: merged, net: merged.Network})
+
+	for _, w := range loads {
+		for _, mode := range []string{"auto", "sampled", "exact"} {
+			opts := schemanet.Options{Inference: mode}
+			if mode == "exact" {
+				// Feasibility probe: skip the forced-exact leg on workloads
+				// with a component too big for a generous budget (auto covers
+				// those by falling back; forced exact would error).
+				opts.ExactBudget = 1 << 14
+				if _, err := schemanet.NewSession(w.net, &opts); err != nil {
+					b.Run(fmt.Sprintf("%s/%s", w.name, mode), func(b *testing.B) {
+						b.Skipf("forced exact infeasible: %v", err)
+					})
+					continue
+				}
+			}
+			b.Run(fmt.Sprintf("%s/%s", w.name, mode), func(b *testing.B) {
+				benchSessionAssertOpts(b, w.d, w.net, opts)
 			})
 		}
 	}

@@ -30,6 +30,8 @@ func main() {
 		effort      = flag.Float64("effort", 0.1, "effort budget as a fraction of |C|")
 		seed        = flag.Int64("seed", 1, "random seed")
 		exact       = flag.Bool("exact", false, "exact probabilities (small networks only)")
+		inference   = flag.String("inference", "", `per-component inference: "auto" (default), "sampled", or "exact"`)
+		exactBudget = flag.Int("exact-budget", 0, "per-component instance budget for exact inference (0 = mode default)")
 		resume      = flag.String("resume", "", "resume from a saved session file")
 		save        = flag.String("save", "", "save the session to this file when done")
 	)
@@ -54,7 +56,7 @@ func main() {
 		fatal(fmt.Errorf("dataset has no ground truth; cannot use -oracle"))
 	}
 
-	opts := &schemanet.Options{Seed: *seed, Exact: *exact}
+	opts := &schemanet.Options{Seed: *seed, Exact: *exact, Inference: *inference, ExactBudget: *exactBudget}
 	var s *schemanet.Session
 	if *resume != "" {
 		sf, err := os.Open(*resume)

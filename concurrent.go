@@ -124,6 +124,19 @@ func (cs *ConcurrentSession) ComponentOf(c int) (int, error) {
 	return cs.s.ComponentOf(c)
 }
 
+// InferenceOf reports which estimation backend currently serves
+// component k (see Session.InferenceOf). Unlike the partition, the mode
+// is mutable state — an "auto" component promotes to exact under its
+// maintenance lock — so the read briefly takes that lock.
+func (cs *ConcurrentSession) InferenceOf(k int) (InferenceMode, error) {
+	if k < 0 || k >= cs.pmn.NumComponents() {
+		return 0, fmt.Errorf("schemanet: component index %d outside [0,%d)", k, cs.pmn.NumComponents())
+	}
+	cs.locks[k].Lock()
+	defer cs.locks[k].Unlock()
+	return cs.pmn.ComponentInference(k), nil
+}
+
 // Describe renders candidate c with its schemas, attributes, and
 // matcher confidence; a placeholder for an out-of-universe c, as on
 // Session.

@@ -42,13 +42,16 @@ func disjointSchedule(t testing.TB, s *schemanet.Session, net *schemanet.Network
 
 // TestConcurrentDisjointScheduleMatchesSerial drives a sampled (not
 // exact) multi-component network, so the comparison exercises the
-// per-component rng streams, not just deterministic enumeration. Only
-// every third candidate is asserted, keeping the stores sampled and
-// the probabilities fractional.
+// per-component rng streams, not just deterministic enumeration —
+// inference is pinned to "sampled" for that reason (the default auto
+// mode would enumerate the small components exactly; the auto variant
+// below covers mixed modes and promotion). Only every third candidate
+// is asserted, keeping the stores sampled and the probabilities
+// fractional.
 func TestConcurrentDisjointScheduleMatchesSerial(t *testing.T) {
 	d := benchMultiComponentDataset(t, 240, 4)
 	net := d.Network
-	opts := &schemanet.Options{Seed: 42, Samples: 150}
+	opts := &schemanet.Options{Seed: 42, Samples: 150, Inference: "sampled"}
 
 	serial, err := schemanet.NewSession(net, opts)
 	if err != nil {

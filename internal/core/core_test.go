@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -42,8 +43,8 @@ func buildVideoNet(t testing.TB) (*constraints.Engine, map[string]int) {
 func exactPMN(t testing.TB, e *constraints.Engine, seed int64) *PMN {
 	t.Helper()
 	cfg := DefaultConfig()
-	cfg.Exact = true
-	return New(e, cfg, rand.New(rand.NewSource(seed)))
+	cfg.Inference = InferExact
+	return MustNew(e, cfg, rand.New(rand.NewSource(seed)))
 }
 
 func TestFeedbackBasics(t *testing.T) {
@@ -252,7 +253,7 @@ func TestSampledPMNApproximatesExact(t *testing.T) {
 	exact := exactPMN(t, e, 1)
 	cfg := DefaultConfig()
 	cfg.Samples = 400
-	sampled := New(e, cfg, rand.New(rand.NewSource(2)))
+	sampled := MustNew(e, cfg, rand.New(rand.NewSource(2)))
 	for c := 0; c < e.Network().NumCandidates(); c++ {
 		if math.Abs(exact.Probability(c)-sampled.Probability(c)) > 1e-9 {
 			t.Errorf("p(%d): exact %v vs sampled %v (store should cover all 4 instances)",
@@ -267,7 +268,7 @@ func TestSmallNetworkMarksComplete(t *testing.T) {
 	e, _ := buildVideoNet(t)
 	cfg := DefaultConfig()
 	cfg.Samples = 50
-	p := New(e, cfg, rand.New(rand.NewSource(3)))
+	p := MustNew(e, cfg, rand.New(rand.NewSource(3)))
 	if !p.Store().Complete() {
 		t.Fatal("store not marked complete despite exhausting all instances")
 	}
@@ -396,12 +397,20 @@ func TestStrategiesReturnFalseWhenCertain(t *testing.T) {
 }
 
 func TestPMNSampledFallbackWhenExactOverflows(t *testing.T) {
-	e, _ := buildVideoNet(t)
+	// The two-star fixture has 8 free candidates but 15 instances, so a
+	// budget of 9 passes the free-count attempt gate and the enumeration
+	// itself overflows — the construction-time overflow→sampled fallback
+	// actually runs (on the video net it could not: any budget small
+	// enough to overflow its 4 instances is below the 5-candidate gate).
+	e, _ := buildTwoStarsNet(t)
 	cfg := DefaultConfig()
-	cfg.Exact = true
-	cfg.ExactLimit = 2 // fewer than the 4 instances → overflow → sampling
+	cfg.Inference = InferAuto
+	cfg.ExactBudget = 9
 	cfg.Samples = 200
-	p := New(e, cfg, rand.New(rand.NewSource(11)))
+	p := MustNew(e, cfg, rand.New(rand.NewSource(11)))
+	if got := p.ComponentInference(0); got != InferSampled {
+		t.Fatalf("over-budget component serves %v, want sampled fallback", got)
+	}
 	if p.Store().Size() == 0 {
 		t.Fatal("fallback sampling produced no instances")
 	}
@@ -409,6 +418,34 @@ func TestPMNSampledFallbackWhenExactOverflows(t *testing.T) {
 		if pr := p.Probability(c); pr < 0 || pr > 1 {
 			t.Fatalf("p(%d) = %v out of range", c, pr)
 		}
+	}
+	// The gate variant: a component whose free count is at or above the
+	// budget is never probed at construction and samples as well.
+	e2, _ := buildVideoNet(t)
+	cfg.ExactBudget = 2 // free 5 ≥ budget 2 → no attempt, sampled
+	p2 := MustNew(e2, cfg, rand.New(rand.NewSource(11)))
+	if got := p2.ComponentInference(0); got != InferSampled {
+		t.Fatalf("gated component serves %v, want sampled", got)
+	}
+}
+
+// TestPMNForcedExactOverflowErrors: unlike Auto's silent fallback, a
+// forced exact configuration with a too-small budget must fail loudly
+// with the classifiable sentinel — the caller asked for exactness.
+func TestPMNForcedExactOverflowErrors(t *testing.T) {
+	e, _ := buildVideoNet(t)
+	cfg := DefaultConfig()
+	cfg.Inference = InferExact
+	cfg.ExactBudget = 2
+	_, err := New(e, cfg, rand.New(rand.NewSource(11)))
+	if !errors.Is(err, ErrExactBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrExactBudgetExceeded", err)
+	}
+	// Budget 0 under forced exact means unlimited: construction succeeds.
+	cfg.ExactBudget = 0
+	p := MustNew(e, cfg, rand.New(rand.NewSource(11)))
+	if got := p.Store().Size(); got != 4 {
+		t.Fatalf("unbounded exact store size = %d, want 4", got)
 	}
 }
 
@@ -463,7 +500,7 @@ func TestResamplingKeepsStoreUsable(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Samples = 150
 	cfg.Sampler.NMin = 60
-	p := New(e, cfg, rand.New(rand.NewSource(56)))
+	p := MustNew(e, cfg, rand.New(rand.NewSource(56)))
 
 	o := scriptedOracle{}
 	for i := 0; i < d.Network.NumCandidates(); i++ {
@@ -535,7 +572,7 @@ func TestInformationGainsWorkersAgree(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		cfg := DefaultConfig()
 		cfg.Workers = workers
-		p := New(e, cfg, rand.New(rand.NewSource(23)))
+		p := MustNew(e, cfg, rand.New(rand.NewSource(23)))
 		gains[workers] = p.InformationGains()
 	}
 	if len(gains[1]) != len(gains[4]) {

@@ -114,7 +114,7 @@ func TestPMNRecoversFromEmptiedCompleteStore(t *testing.T) {
 	e, idx := buildVideoNet(t)
 	cfg := DefaultConfig()
 	cfg.Samples = 100
-	p := New(e, cfg, rand.New(rand.NewSource(3)))
+	p := MustNew(e, cfg, rand.New(rand.NewSource(3)))
 	if !p.Store().Complete() {
 		t.Fatal("precondition: store must have completed")
 	}
@@ -181,7 +181,7 @@ func TestAssertBatchAtMostOneRefillPerComponent(t *testing.T) {
 	e, idx := buildTwoTriangles(t)
 	cfg := DefaultConfig()
 	cfg.Samples = 100
-	p := New(e, cfg, rand.New(rand.NewSource(5)))
+	p := MustNew(e, cfg, rand.New(rand.NewSource(5)))
 	// Disapprovals clear completeness, so every entry would refill on
 	// the sequential path; both components are touched twice.
 	history := []Assertion{
@@ -197,7 +197,7 @@ func TestAssertBatchAtMostOneRefillPerComponent(t *testing.T) {
 		t.Fatalf("batch of 4 over 2 components did %d refills, want ≤ 2 (one per touched component)", got)
 	}
 	// Sequential reference: strictly more refills.
-	q := New(e, cfg, rand.New(rand.NewSource(5)))
+	q := MustNew(e, cfg, rand.New(rand.NewSource(5)))
 	for _, a := range history {
 		if err := q.Assert(a.Cand, a.Approved); err != nil {
 			t.Fatal(err)
@@ -282,11 +282,11 @@ func TestDecomposedSampledAgreesWithExactOnRandomNet(t *testing.T) {
 	if e.Components().Trivial() {
 		t.Skip("generated network has one component")
 	}
-	exact := New(e, Config{Exact: true, Samples: 100, Sampler: DefaultConfig().Sampler}, rand.New(rand.NewSource(1)))
+	exact := MustNew(e, Config{Inference: InferExact, Samples: 100, Sampler: DefaultConfig().Sampler}, rand.New(rand.NewSource(1)))
 	cfg := DefaultConfig()
 	cfg.Samples = 600
 	cfg.Sampler.NMin = 400
-	sampled := New(e, cfg, rand.New(rand.NewSource(2)))
+	sampled := MustNew(e, cfg, rand.New(rand.NewSource(2)))
 	for c := 0; c < d.Network.NumCandidates(); c++ {
 		k := sampled.ComponentOf(c)
 		if !sampled.ComponentStore(k).Complete() {

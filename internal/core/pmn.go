@@ -19,14 +19,21 @@ type Config struct {
 	// Samples is the number of walk emissions per (re)sampling round.
 	// In a decomposed PMN each component gets a full round of its own.
 	Samples int
-	// Exact switches to exhaustive enumeration of matching instances
-	// (Equation 1); only feasible for small candidate sets (small
-	// components, in a decomposed PMN).
-	Exact bool
-	// ExactLimit caps enumeration when Exact is set (0 = no cap). In a
-	// decomposed PMN the cap applies per component; a component that
-	// overflows falls back to sampling on its own.
-	ExactLimit int
+	// Inference selects the per-component estimation backend: InferSampled
+	// (the zero value — the paper's sampler everywhere), InferExact
+	// (exhaustive enumeration per Equation 1, maintained incrementally;
+	// New fails with ErrExactBudgetExceeded when a component overflows a
+	// non-zero ExactBudget), or InferAuto (exact where the instance space
+	// fits the budget, sampled elsewhere, with mid-session promotion).
+	// See DESIGN.md, "Hybrid inference".
+	Inference InferenceMode
+	// ExactBudget caps the per-component instance enumeration of the
+	// exact backend; the enumeration's search work is bounded
+	// proportionally, so an attempt costs O(budget) regardless of the
+	// component's instance space. 0 means DefaultExactBudget under
+	// InferAuto and *unlimited* under InferExact (the legacy exhaustive
+	// mode, which never overflows).
+	ExactBudget int
 	// Workers bounds the goroutines of the information-gain ranking
 	// pass (InformationGains). 0 means runtime.GOMAXPROCS(0); 1 forces
 	// a sequential pass.
@@ -63,8 +70,11 @@ type component struct {
 	members []int       // global candidate ids, ascending; nil = whole universe
 	mask    *bitset.Set // members as a mask; nil = whole universe
 	engine  *constraints.Engine
-	sampler *sampling.Sampler
-	store   *sampling.Store
+	// inf is the component's estimation backend (sampled or exact, see
+	// Inference). Under InferAuto it can be swapped from sampled to exact
+	// mid-session (maybePromote); the swap happens under the same
+	// serialization as the rest of the component's maintenance.
+	inf Inference
 	// approved/disapproved are F+ ∩ members and F− ∩ members (global
 	// indexing). Component maintenance reads only these — never the
 	// PMN-global feedback — because the restricted forms F ∩ within that
@@ -73,13 +83,21 @@ type component struct {
 	// a per-component lock while the global sets are not.
 	approved    *bitset.Set
 	disapproved *bitset.Set
-	exactAll    bool    // probabilities come from exhaustive enumeration
 	entropy     float64 // cached H_k = Σ_{c ∈ members} H(p_c)
+	// promoteBar memoizes the free-candidate count of the last failed
+	// promotion attempt (-1 = none): retry only once assertions shrink
+	// the component further, so a too-big component does not re-burn its
+	// budgeted enumeration probe on every assertion.
+	promoteBar int
 	// rankScratch is reused by EnsureComponentGains; owned by the
 	// component (used only under the component's lock in concurrent
 	// serving), so the eager per-assertion re-rank does not re-allocate.
 	rankScratch *igScratch
 }
+
+// store returns the live sample/instance container of the component's
+// current backend.
+func (c *component) store() *sampling.Store { return c.inf.Store() }
 
 // isAsserted reports whether member c has been asserted either way.
 func (c *component) isAsserted(cand int) bool {
@@ -120,21 +138,22 @@ type PMN struct {
 
 // newComponent wires one component: an engine fork of its own (walk
 // scratch is engine-owned, so concurrent component maintenance needs
-// per-component forks), a sampler over that fork, and empty
-// component-scoped feedback masks.
-func newComponent(engine *constraints.Engine, scfg sampling.Config, rng *rand.Rand, n int) *component {
-	fork := engine.Fork()
+// per-component forks) and empty component-scoped feedback masks. The
+// estimation backend is attached afterwards (PMN.newInference).
+func newComponent(engine *constraints.Engine, n int) *component {
 	return &component{
-		engine:      fork,
-		sampler:     sampling.NewSampler(fork, scfg, rng),
+		engine:      engine.Fork(),
 		approved:    bitset.New(n),
 		disapproved: bitset.New(n),
+		promoteBar:  -1,
 	}
 }
 
 // New builds a probabilistic matching network and computes the initial
-// probabilities (no user input yet).
-func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
+// probabilities (no user input yet). It fails only under forced
+// Config.Inference = InferExact with a non-zero ExactBudget some
+// component's enumeration overflows (ErrExactBudgetExceeded).
+func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) (*PMN, error) {
 	if cfg.Samples <= 0 {
 		cfg.Samples = DefaultConfig().Samples
 	}
@@ -147,22 +166,32 @@ func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
 		probs:    make([]float64, n),
 	}
 
+	// Per-component sampler configs and rng streams: the backend choice
+	// is made after the components are wired, but the streams must be
+	// drawn in component order regardless of mode, so an exact component
+	// does not shift its neighbors' seeds (mode is derived state —
+	// replay and differential runs depend on stable streams).
+	var scfgs []sampling.Config
+	var rngs []*rand.Rand
+
 	parts := engine.Components()
 	if cfg.Monolithic || parts.Trivial() {
 		// One component covering the whole universe: nil members/mask
 		// select the unrestricted code paths everywhere, and the shared
 		// session rng keeps the sampling stream identical to the
 		// pre-decomposition implementation.
-		c := newComponent(engine, cfg.Sampler, rng, n)
-		c.store = sampling.NewStore(n, c.sampler.Config().NMin)
-		p.comps = []*component{c}
+		p.comps = []*component{newComponent(engine, n)}
 		p.compOf = make([]int, n)
 		p.localIdx = nil
 		p.maxComp = n
+		scfgs = []sampling.Config{cfg.Sampler}
+		rngs = []*rand.Rand{rng}
 	} else {
 		p.compOf = make([]int, n)
 		p.localIdx = make([]int32, n)
 		p.comps = make([]*component, parts.NumComponents())
+		scfgs = make([]sampling.Config, parts.NumComponents())
+		rngs = make([]*rand.Rand, parts.NumComponents())
 		for k := 0; k < parts.NumComponents(); k++ {
 			members := parts.Members(k)
 			for j, c := range members {
@@ -177,7 +206,7 @@ func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
 			// and maintenance of component-disjoint assertions commutes
 			// bit-for-bit, which is what makes concurrent serving
 			// reproducible.
-			crng := rand.New(rand.NewSource(rng.Int63()))
+			rngs[k] = rand.New(rand.NewSource(rng.Int63()))
 			scfg := cfg.Sampler
 			if scfg.StagnationLimit == 0 {
 				// Unset: a small component's instance space saturates in a
@@ -186,19 +215,35 @@ func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
 				// stopping disabled (see sampling.Config.StagnationLimit).
 				scfg.StagnationLimit = 8*len(members) + 128
 			}
-			c := newComponent(engine, scfg, crng, n)
+			scfgs[k] = scfg
+			c := newComponent(engine, n)
 			c.members = members
 			c.mask = bitset.FromIndices(n, members...)
-			c.store = sampling.NewComponentStore(n, c.sampler.Config().NMin, members, p.localIdx)
 			p.comps[k] = c
 		}
 	}
 
 	p.gains = make([]float64, n)
 	p.gainsStale = make([]bool, len(p.comps))
-	for k := range p.comps {
-		p.refillComp(k)
+	for k, c := range p.comps {
+		inf, err := p.newInference(k, c, scfgs[k], rngs[k])
+		if err != nil {
+			return nil, err
+		}
+		c.inf = inf
+		c.inf.Refill() // initial fill; no-op for exact components
 		p.recomputeComp(k)
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error — for configurations that cannot
+// overflow an exact budget (sampled, auto, or unbudgeted exact) and for
+// tests.
+func MustNew(engine *constraints.Engine, cfg Config, rng *rand.Rand) *PMN {
+	p, err := New(engine, cfg, rng)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }
@@ -217,14 +262,21 @@ func (p *PMN) NumComponents() int { return len(p.comps) }
 func (p *PMN) ComponentOf(c int) int { return p.compOf[c] }
 
 // ComponentStore returns component k's sample set Ω*_k.
-func (p *PMN) ComponentStore(k int) *sampling.Store { return p.comps[k].store }
+func (p *PMN) ComponentStore(k int) *sampling.Store { return p.comps[k].store() }
+
+// ComponentInference reports which estimation backend currently serves
+// component k (InferSampled or InferExact — never InferAuto). Under
+// Config.Inference = InferAuto the answer can flip from sampled to
+// exact as assertions shrink the component (see maybePromote); it never
+// flips back.
+func (p *PMN) ComponentInference(k int) InferenceMode { return p.comps[k].inf.Mode() }
 
 // ComponentStores returns the per-component sample sets in component
 // order. The slice is freshly allocated; the stores are live.
 func (p *PMN) ComponentStores() []*sampling.Store {
 	out := make([]*sampling.Store, len(p.comps))
 	for k, c := range p.comps {
-		out[k] = c.store
+		out[k] = c.store()
 	}
 	return out
 }
@@ -245,7 +297,7 @@ func (p *PMN) ComponentMasks() []*bitset.Set {
 // a decomposed PMN has one store per component; use ComponentStores.
 func (p *PMN) Store() *sampling.Store {
 	if len(p.comps) == 1 {
-		return p.comps[0].store
+		return p.comps[0].store()
 	}
 	return nil
 }
@@ -283,45 +335,6 @@ func (p *PMN) LocalIndex(c int) int {
 	return int(p.localIdx[c])
 }
 
-// refillComp populates component k's store per §III-B: for the exact
-// configuration it enumerates the component's instances; otherwise it
-// samples, and if after two consecutive samplings the store is still
-// below n_min, it concludes that all of the component's matching
-// instances have been generated (Ω*_k = Ω_k).
-func (p *PMN) refillComp(k int) {
-	c := p.comps[k]
-	if p.cfg.Exact {
-		instances, err := sampling.EnumerateWithin(
-			c.engine, c.approved, c.disapproved, c.mask, p.cfg.ExactLimit)
-		if err == nil {
-			n := p.Network().NumCandidates()
-			nmin := c.sampler.Config().NMin
-			if c.members == nil {
-				c.store = sampling.NewStore(n, nmin)
-			} else {
-				c.store = sampling.NewComponentStore(n, nmin, c.members, p.localIdx)
-			}
-			for _, inst := range instances {
-				c.store.Add(inst)
-			}
-			c.store.MarkComplete()
-			c.exactAll = true
-			return
-		}
-		// Enumeration overflowed the limit: fall back to sampling.
-		c.exactAll = false
-	}
-	for round := 0; round < 2 && c.store.NeedsResample(); round++ {
-		c.sampler.SampleWithin(c.store, c.approved, c.disapproved, c.mask, p.cfg.Samples)
-	}
-	if c.store.NeedsResample() {
-		// Two consecutive samplings could not reach n_min: the actual
-		// number of matching instances is below n_min and the store
-		// holds all of them.
-		c.store.MarkComplete()
-	}
-}
-
 // recomputeComp refreshes component k's slice of P from its store,
 // overriding asserted candidates with 1/0 (assertions are always right,
 // §II-B), refreshes the cached entropy term H_k, and staleness-marks
@@ -329,7 +342,7 @@ func (p *PMN) refillComp(k int) {
 func (p *PMN) recomputeComp(k int) {
 	p.gainsStale[k] = true
 	c := p.comps[k]
-	c.store.ProbabilitiesInto(p.probs)
+	c.store().ProbabilitiesInto(p.probs)
 	h := 0.0
 	if c.members == nil {
 		for cand := range p.probs {
@@ -371,22 +384,17 @@ func (p *PMN) Probability(c int) float64 { return p.probs[c] }
 
 // integrate performs the component-scoped view maintenance for one
 // recorded assertion: mirror the assertion into the component's feedback
-// masks, view-maintain the store, and decide whether it needs a refill.
-// The store refill and probability recomputation are left to the caller
-// so a batch of assertions pays for them once per touched component.
+// masks (the backend's maintenance reads them), view-maintain the
+// backend, and report whether it needs a refill. The refill and
+// probability recomputation are left to the caller so a batch of
+// assertions pays for them once per touched component.
 func (p *PMN) integrate(cp *component, c int, approve bool) (needRefill bool) {
 	if approve {
 		cp.approved.Add(c)
 	} else {
 		cp.disapproved.Add(c)
 	}
-	cp.store.ApplyAssertion(c, approve)
-	if p.cfg.Exact && cp.exactAll && !approve {
-		// Disapproval can surface instances that were not maximal
-		// before; re-enumerate to stay exact.
-		return true
-	}
-	return cp.store.NeedsResample()
+	return cp.inf.Apply(c, approve)
 }
 
 // RecordAssertion validates one expert assertion and records it in the
@@ -422,8 +430,13 @@ func (p *PMN) ApplyAssertions(k int, as []Assertion) {
 			needRefill = true
 		}
 	}
-	if needRefill {
-		p.refillComp(k)
+	// Promotion runs before the refill decision: if the shrunk component
+	// now enumerates within budget, the exact backend replaces the store
+	// outright and the pending resampling round is never paid — the
+	// "zero sampling resamples in the exact tail" property.
+	p.maybePromote(k)
+	if needRefill && cp.inf.Mode() != InferExact {
+		cp.inf.Refill()
 		p.resamples.Add(1)
 	}
 	p.recomputeComp(k)

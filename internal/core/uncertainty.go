@@ -129,8 +129,9 @@ func (p *PMN) EnsureComponentGains(k int) {
 // the ranking O(component²) instead of O(network²) per candidate.
 func (p *PMN) condEntropyComp(comp *component, c int, s *igScratch) float64 {
 	pc := p.probs[c]
-	m := comp.store.TrackedCount()
-	nWith, nWithout := comp.store.CoCountsInto(c, s.with, s.without)
+	st := comp.store()
+	m := st.TrackedCount()
+	nWith, nWithout := st.CoCountsInto(c, s.with, s.without)
 	hPlus := p.partitionEntropyOf(comp, s.with[:m], nWith, s)
 	hMinus := p.partitionEntropyOf(comp, s.without[:m], nWithout, s)
 	return pc*hPlus + (1-pc)*hMinus

@@ -72,6 +72,22 @@ func WebForm() Profile {
 	}
 }
 
+// MultiComp is a small-component-heavy shape (not in the paper): many
+// small schemas drawing from a large concept pool over a sparse
+// interaction graph, so attribute overlap — and with it the
+// constraint-conflict structure — stays local and the candidate set
+// decomposes into many small constraint-connected components. This is
+// the regime the adaptive exact/sampled hybrid inference is built for
+// (most components enumerate within a small budget) and the profile
+// behind the BenchmarkSessionAssertInference crossover table.
+func MultiComp() Profile {
+	return Profile{
+		Name: "MultiComp", Domain: WebForms(),
+		NumSchemas: 64, MinAttrs: 3, MaxAttrs: 5,
+		PoolFactor: 30.0, SynonymProb: 0.3, AbbrevProb: 0.25, EdgeProb: 0.07,
+	}
+}
+
 // Profiles returns the four dataset profiles in the paper's Table II
 // order.
 func Profiles() []Profile {

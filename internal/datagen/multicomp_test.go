@@ -1,0 +1,50 @@
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"schemanet/internal/constraints"
+)
+
+// TestMultiCompProfileDecomposes pins the property the profile exists
+// for: a MultiComp candidate set splits into many small
+// constraint-connected components — the small-component-heavy regime
+// of the hybrid inference's crossover benchmark.
+func TestMultiCompProfileDecomposes(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := SyntheticNetwork(MultiComp(), SyntheticOpts{
+			TargetCount: 512, Precision: 0.67, ConflictBias: 0.3, StrictCount: true,
+		}, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		parts := constraints.Default(d.Network).Components()
+		n := d.Network.NumCandidates()
+		sizes := make([]int, parts.NumComponents())
+		for k := range sizes {
+			sizes[k] = len(parts.Members(k))
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+		mean := float64(n) / float64(len(sizes))
+		t.Logf("seed %d: C=%d comps=%d mean=%.1f largest=%v", seed, n, len(sizes), mean, sizes[:minInt(5, len(sizes))])
+		if len(sizes) < 50 {
+			t.Errorf("seed %d: only %d components, want ≥ 50 (small-component-heavy)", seed, len(sizes))
+		}
+		if mean > 10 {
+			t.Errorf("seed %d: mean component size %.1f, want ≤ 10", seed, mean)
+		}
+		if sizes[0] > 64 {
+			t.Errorf("seed %d: largest component has %d members, want ≤ 64 — no hub component", seed, sizes[0])
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

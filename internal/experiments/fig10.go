@@ -20,7 +20,7 @@ func instantiateAt(d *schema.Dataset, strat core.Strategy, steps []int,
 
 	rng := rand.New(rand.NewSource(seed))
 	e := engineFor(d.Network)
-	pmn := core.New(e, pmnCfg, rng)
+	pmn := core.MustNew(e, pmnCfg, rng)
 	o := oracleFor(d)
 
 	snapshot := func() (float64, float64) {

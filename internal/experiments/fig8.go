@@ -49,7 +49,7 @@ func Fig8(cfg Config) (Result, error) {
 		return nil, err
 	}
 	e := engineFor(d.Network)
-	pmn := core.New(e, core.DefaultConfig(), rng)
+	pmn := core.MustNew(e, core.DefaultConfig(), rng)
 
 	const nBuckets = 10
 	correct := make([]int, nBuckets)

@@ -66,7 +66,7 @@ func notDisapproved(p *core.PMN) []int {
 func runTrajectory(d *schema.Dataset, strat core.Strategy, pmnCfg core.Config, seed int64) []trajPoint {
 	rng := rand.New(rand.NewSource(seed))
 	e := engineFor(d.Network)
-	pmn := core.New(e, pmnCfg, rng)
+	pmn := core.MustNew(e, pmnCfg, rng)
 	o := oracleFor(d)
 
 	record := func() trajPoint {

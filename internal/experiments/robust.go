@@ -111,7 +111,7 @@ func Robust(cfg Config) (Result, error) {
 					}}
 				}
 				e := engineFor(d.Network)
-				pmn := core.New(e, pmnConfig(cfg), rng)
+				pmn := core.MustNew(e, pmnConfig(cfg), rng)
 				strat := core.InfoGainStrategy{}
 				for i := 0; i < budget; i++ {
 					c, ok := strat.Next(pmn, rng)

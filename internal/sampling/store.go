@@ -231,6 +231,33 @@ func (st *Store) ApplyAssertion(c int, approved bool) {
 	}
 }
 
+// ApplyAssertionExact performs *exact* view maintenance over a complete
+// store (Ω* = Ω): the instance list is updated through the shared
+// FilterInstances kernel, so a disapproval also surfaces the previously
+// non-maximal sets that excluding c makes maximal — each instance
+// containing c is stripped of it and kept when isMaximal (typically
+// Engine.Maximal against the updated exclusion set) approves the
+// remainder. Unlike ApplyAssertion, completeness is *preserved*: if the
+// store held all of Ω before, it holds all of Ω′ after, for either
+// assertion direction (see DESIGN.md, "Hybrid inference"). isMaximal is
+// only consulted for disapprovals.
+func (st *Store) ApplyAssertionExact(c int, approved bool, isMaximal func(*bitset.Set) bool) {
+	st.mustTrack(c)
+	st.instances = FilterInstances(st.instances, c, approved, isMaximal)
+	// Stripping rewrites instance bits, so fingerprints are recomputed
+	// rather than carried over as the plain compaction does.
+	st.fps = st.fps[:0]
+	for k := range st.index {
+		delete(st.index, k)
+	}
+	for i, inst := range st.instances {
+		fp := inst.Fingerprint()
+		st.fps = append(st.fps, fp)
+		st.index[fp] = append(st.index[fp], i)
+	}
+	st.rebuildColumns()
+}
+
 // ensureColWords grows every column to the given word count. All
 // columns share one backing slab (column j at stride colCap), so a
 // capacity growth is a single allocation plus one copy per column, and

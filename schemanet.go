@@ -60,6 +60,18 @@ type (
 	// Assertion is one expert statement about a candidate
 	// correspondence, used by the batch APIs (ConcurrentSession.AssertBatch).
 	Assertion = core.Assertion
+	// InferenceMode identifies a per-component estimation backend; see
+	// Options.Inference and Session.InferenceOf.
+	InferenceMode = core.InferenceMode
+)
+
+// The estimation backends a component can be served by. InferenceAuto
+// only ever appears in configuration — InferenceOf always reports
+// InferenceSampled or InferenceExact.
+const (
+	InferenceSampled = core.InferSampled
+	InferenceExact   = core.InferExact
+	InferenceAuto    = core.InferAuto
 )
 
 // NewBuilder starts assembling a network.
@@ -87,8 +99,10 @@ func Match(net *Network, m Matcher) (*Network, error) {
 }
 
 // GenerateDataset builds a synthetic dataset from a named profile
-// ("bp", "po", "uaf", "webform"), optionally scaled (scale 1 = paper's
-// Table II shape).
+// ("bp", "po", "uaf", "webform" — the paper's Table II shapes — or
+// "multicomp", a small-component-heavy shape whose candidate set
+// decomposes into many small constraint-connected components),
+// optionally scaled (scale 1 = the profile's full shape).
 func GenerateDataset(profile string, scale float64, seed int64) (*Dataset, error) {
 	var p datagen.Profile
 	switch profile {
@@ -100,6 +114,8 @@ func GenerateDataset(profile string, scale float64, seed int64) (*Dataset, error
 		p = datagen.UAF()
 	case "webform", "WebForm":
 		p = datagen.WebForm()
+	case "multicomp", "MultiComp":
+		p = datagen.MultiComp()
 	default:
 		return nil, fmt.Errorf("schemanet: unknown profile %q", profile)
 	}
@@ -127,8 +143,34 @@ type Options struct {
 	// instance. 0 selects a component-scaled default; negative values
 	// are rejected by NewSession.
 	StagnationLimit int
-	// Exact switches to exhaustive instance enumeration — exact
-	// probabilities per Equation 1, feasible only for small networks.
+	// Inference selects the per-component estimation backend:
+	//
+	//   - "auto" (the default): exact enumeration for every component
+	//     whose instance space fits ExactBudget, sampling for the rest —
+	//     and a sampled component is *promoted* to exact mid-session once
+	//     assertions shrink its free-candidate count below the budget, so
+	//     long sessions converge to fully exact tails. Exact components
+	//     serve noise-free probabilities, entropy, and information gain.
+	//   - "sampled": the paper's sampler everywhere (the pre-hybrid
+	//     behavior).
+	//   - "exact": exhaustive enumeration everywhere. With ExactBudget 0
+	//     the enumeration is unbounded (feasible only for small
+	//     components); with a budget, NewSession fails with
+	//     ErrExactBudgetExceeded when any component overflows it.
+	//
+	// Session.InferenceOf reports the backend serving each component.
+	// See DESIGN.md, "Hybrid inference".
+	Inference string
+	// ExactBudget caps the per-component instance enumeration of the
+	// exact backend (and, proportionally, its search work — a budgeted
+	// enumeration attempt costs O(budget) even on huge components).
+	// 0 means a built-in default under "auto" and unlimited under
+	// "exact". Negative values are rejected by NewSession.
+	ExactBudget int
+	// Exact is the legacy switch for Inference: "exact" with an
+	// unbounded budget — exact probabilities per Equation 1, feasible
+	// only for small networks. Setting both Exact and a conflicting
+	// Inference string is an error.
 	Exact bool
 	// InstantiateIterations bounds the local search of Instantiate
 	// (default 200).
@@ -196,12 +238,36 @@ func (o *Options) validate() error {
 		{"StagnationLimit", o.StagnationLimit},
 		{"InstantiateIterations", o.InstantiateIterations},
 		{"Workers", o.Workers},
+		{"ExactBudget", o.ExactBudget},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("schemanet: Options.%s must be non-negative, got %d", f.name, f.v)
 		}
 	}
 	return nil
+}
+
+// inferenceMode resolves the Inference string and the legacy Exact
+// switch into the core mode.
+func (o *Options) inferenceMode() (core.InferenceMode, error) {
+	var mode core.InferenceMode
+	switch o.Inference {
+	case "", "auto":
+		mode = core.InferAuto
+	case "sampled":
+		mode = core.InferSampled
+	case "exact":
+		mode = core.InferExact
+	default:
+		return 0, fmt.Errorf("schemanet: unknown inference mode %q (want \"auto\", \"sampled\", or \"exact\")", o.Inference)
+	}
+	if o.Exact {
+		if o.Inference != "" && o.Inference != "exact" {
+			return 0, fmt.Errorf("schemanet: Options.Exact conflicts with Options.Inference = %q", o.Inference)
+		}
+		mode = core.InferExact
+	}
+	return mode, nil
 }
 
 // Session is a pay-as-you-go reconciliation session over one network:
@@ -243,6 +309,14 @@ var ErrUnknownCandidate = errors.New("schemanet: unknown candidate")
 // the loser's Assert fails with it — so classify it with errors.Is and
 // retry Suggest rather than treating it as a failure.
 var ErrAlreadyAsserted = core.ErrAlreadyAsserted
+
+// ErrExactBudgetExceeded reports that a component's matching-instance
+// enumeration overflowed Options.ExactBudget under Options.Inference =
+// "exact". NewSession returns it (wrapped, with the offending
+// component) instead of silently degrading: forcing exact inference is
+// a correctness request, so the caller decides whether to raise the
+// budget or switch to "auto" (which falls back to sampling on its own).
+var ErrExactBudgetExceeded = core.ErrExactBudgetExceeded
 
 // checkCandidate validates a candidate index against the universe.
 func (s *Session) checkCandidate(c int) error {
@@ -304,14 +378,23 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 	if o.StagnationLimit > 0 {
 		cfg.Sampler.StagnationLimit = o.StagnationLimit
 	}
-	cfg.Exact = o.Exact
+	mode, err := o.inferenceMode()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Inference = mode
+	cfg.ExactBudget = o.ExactBudget
 	cfg.Workers = o.Workers
 	cfg.Monolithic = o.Monolithic
 
 	rng := rand.New(rand.NewSource(o.Seed))
+	pmn, err := core.New(engine, cfg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("schemanet: %w", err)
+	}
 	s := &Session{
 		engine:   engine,
-		pmn:      core.New(engine, cfg, rng),
+		pmn:      pmn,
 		strategy: strat,
 		instCfg:  instantiate.DefaultConfig(),
 		rng:      rng,
@@ -393,6 +476,19 @@ func (s *Session) ComponentOf(c int) (int, error) {
 		return 0, err
 	}
 	return s.pmn.ComponentOf(c), nil
+}
+
+// InferenceOf reports which estimation backend currently serves
+// component k: InferenceExact (noise-free probabilities from the
+// component's materialized instance list) or InferenceSampled. Under
+// Options.Inference = "auto" a component can flip from sampled to exact
+// as assertions shrink it; it never flips back. k is a component index
+// as returned by ComponentOf, in [0, Components()).
+func (s *Session) InferenceOf(k int) (InferenceMode, error) {
+	if k < 0 || k >= s.pmn.NumComponents() {
+		return 0, fmt.Errorf("schemanet: component index %d outside [0,%d)", k, s.pmn.NumComponents())
+	}
+	return s.pmn.ComponentInference(k), nil
 }
 
 // Instantiate derives a trusted matching from the current state: a

@@ -24,7 +24,7 @@ func mustProb(t testing.TB, s prober, c int) float64 {
 }
 
 // videoNet builds the §II-A example through the public API.
-func videoNet(t *testing.T) (*schemanet.Network, *schemanet.Matching) {
+func videoNet(t testing.TB) (*schemanet.Network, *schemanet.Matching) {
 	t.Helper()
 	b := schemanet.NewBuilder()
 	b.AddSchema("EoverI", "productionDate")

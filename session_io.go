@@ -53,10 +53,20 @@ func (s *Session) Save(w io.Writer) error {
 // view-maintained first and each touched component is refilled and
 // recomputed once at the end, instead of paying a full
 // view-maintain + resample + recompute round per history entry as
-// replaying through Session.Assert would. Under Options.Exact the
+// replaying through Session.Assert would. Under exact inference the
 // result is identical to a step-by-step replay; with sampled
 // probabilities it is statistically equivalent (the estimates come
 // from fresh samples either way).
+//
+// Per-component inference modes are derived state and are not
+// persisted: the batch replay reconstructs them deterministically.
+// Under Options.Inference = "auto", whether a component serves exact
+// probabilities depends only on its accumulated feedback and the
+// budget — free-candidate counts only ever shrink and the budgeted
+// enumeration probe is deterministic — so the final mode (and, for
+// exact components, the bit-exact probabilities) of the restored
+// session match the saved one even when promotions happened mid-session
+// rather than at replay time.
 func LoadSession(net *Network, opts *Options, r io.Reader) (*Session, error) {
 	var st sessionState
 	if err := json.NewDecoder(r).Decode(&st); err != nil {

@@ -37,7 +37,10 @@ func replayNet(t *testing.T) *Network {
 // network, at most one resampling round for the whole history.
 func TestLoadSessionReplaysAtMostOneResampleRound(t *testing.T) {
 	net := replayNet(t)
-	opts := &Options{Seed: 13, Samples: 100} // sampled mode: refills are real
+	// Pinned to sampled inference: refills are real there, while the
+	// default auto mode would serve this tiny network exactly and never
+	// resample at all.
+	opts := &Options{Seed: 13, Samples: 100, Inference: "sampled"}
 	s, err := NewSession(net, opts)
 	if err != nil {
 		t.Fatal(err)
