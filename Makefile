@@ -47,8 +47,10 @@ bench-smoke:
 examples:
 	@set -e; for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" > /dev/null; done; echo "examples OK"
 
-# Native-fuzz smoke over the session_io decoder (LoadSession consumes
-# externally produced files). FUZZTIME per target; crashes land in
-# testdata/fuzz/ as regression cases.
+# Native-fuzz smoke over the two decoders that consume externally
+# produced bytes: the session_io decoder (LoadSession) and the WAL
+# recovery scan (arbitrary crash-damaged log images). FUZZTIME per
+# target; crashes land in testdata/fuzz/ as regression cases.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoadSession -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzWALRecover -fuzztime $(FUZZTIME) ./internal/wal

@@ -6,6 +6,14 @@
 //	reconcile -in bp.json -oracle -budget 30
 //	reconcile -in bp.json -interactive -effort 0.1
 //
+// With -store, the session lives in a durable crash-safe store: every
+// assertion is applied and then appended to a per-session write-ahead
+// log before it is acknowledged, and the run resumes from the WAL and
+// snapshot automatically — killing the process at any point loses at
+// most the answer being typed:
+//
+//	reconcile -in bp.json -interactive -store ./sessions -session bp -annotator alice
+//
 // After the budget is exhausted the tool instantiates a trusted
 // matching and prints it together with quality statistics (when ground
 // truth is available).
@@ -21,6 +29,48 @@ import (
 	"schemanet"
 )
 
+// session is the slice of the API the reconciliation loop needs,
+// satisfied by both a plain in-memory session and a durable one.
+type session interface {
+	Suggest() (c int, ok bool)
+	Assert(c int, correct bool) error
+	Describe(c int) string
+	Effort() (float64, error)
+	Uncertainty() (float64, error)
+	Violations() (int, error)
+	Instantiate() (*schemanet.Matching, error)
+}
+
+// plain adapts *schemanet.Session to the session interface.
+type plain struct{ s *schemanet.Session }
+
+func (p plain) Suggest() (int, bool)          { return p.s.Suggest() }
+func (p plain) Assert(c int, ok bool) error   { return p.s.Assert(c, ok) }
+func (p plain) Describe(c int) string         { return p.s.Describe(c) }
+func (p plain) Effort() (float64, error)      { return p.s.Effort(), nil }
+func (p plain) Uncertainty() (float64, error) { return p.s.Uncertainty(), nil }
+func (p plain) Violations() (int, error)      { return p.s.Violations(), nil }
+func (p plain) Instantiate() (*schemanet.Matching, error) {
+	return p.s.Instantiate(), nil
+}
+
+// durable adapts *schemanet.DurableSession, attributing every
+// assertion to the -annotator id.
+type durable struct {
+	ds        *schemanet.DurableSession
+	annotator string
+}
+
+func (d durable) Suggest() (int, bool)          { return d.ds.Suggest() }
+func (d durable) Assert(c int, ok bool) error   { return d.ds.AssertAs(d.annotator, c, ok) }
+func (d durable) Describe(c int) string         { return d.ds.Describe(c) }
+func (d durable) Effort() (float64, error)      { return d.ds.Effort() }
+func (d durable) Uncertainty() (float64, error) { return d.ds.Uncertainty() }
+func (d durable) Violations() (int, error)      { return d.ds.Violations() }
+func (d durable) Instantiate() (*schemanet.Matching, error) {
+	return d.ds.Instantiate()
+}
+
 func main() {
 	var (
 		in          = flag.String("in", "", "dataset JSON file (required)")
@@ -34,6 +84,10 @@ func main() {
 		exactBudget = flag.Int("exact-budget", 0, "per-component instance budget for exact inference (0 = mode default)")
 		resume      = flag.String("resume", "", "resume from a saved session file")
 		save        = flag.String("save", "", "save the session to this file when done")
+		storeDir    = flag.String("store", "", "durable session store directory (WAL + snapshot persistence)")
+		sessName    = flag.String("session", "", `session name inside -store (default "default")`)
+		annotator   = flag.String("annotator", "", "annotator id recorded with each assertion (-store mode)")
+		syncPolicy  = flag.String("sync", "", `WAL sync policy for -store: "always", "batch" (default), or "none"`)
 	)
 	flag.Parse()
 	if *in == "" {
@@ -41,6 +95,12 @@ func main() {
 	}
 	if !*useOracle && !*interactive {
 		fatal(fmt.Errorf("choose -oracle or -interactive"))
+	}
+	if *storeDir != "" && (*resume != "" || *save != "") {
+		fatal(fmt.Errorf("-store already persists the session durably; drop -resume/-save"))
+	}
+	if *storeDir == "" && (*sessName != "" || *annotator != "" || *syncPolicy != "") {
+		fatal(fmt.Errorf("-session, -annotator, and -sync require -store"))
 	}
 
 	f, err := os.Open(*in)
@@ -57,23 +117,53 @@ func main() {
 	}
 
 	opts := &schemanet.Options{Seed: *seed, Exact: *exact, Inference: *inference, ExactBudget: *exactBudget}
-	var s *schemanet.Session
-	if *resume != "" {
+	var (
+		sess  session
+		saver *schemanet.Session // plain mode only: backs -save
+	)
+	switch {
+	case *storeDir != "":
+		st, err := schemanet.OpenStore(*storeDir, d.Network, &schemanet.StoreOptions{
+			Session: opts, Sync: *syncPolicy,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Compacts and flushes every session; until then the WAL alone
+		// already makes each acknowledged assertion crash-safe.
+		defer st.Close()
+		name := *sessName
+		if name == "" {
+			name = "default"
+		}
+		ds, err := st.Session(name)
+		if err != nil {
+			fatal(err)
+		}
+		if seq, err := ds.Seq(); err != nil {
+			fatal(err)
+		} else if seq > 0 {
+			fmt.Printf("resumed session %q: %d assertions on record\n", name, seq)
+		}
+		sess = durable{ds: ds, annotator: *annotator}
+	case *resume != "":
 		sf, err := os.Open(*resume)
 		if err != nil {
 			fatal(err)
 		}
-		s, err = schemanet.LoadSession(d.Network, opts, sf)
+		s, err := schemanet.LoadSession(d.Network, opts, sf)
 		sf.Close()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("resumed session: %.0f%% effort already spent\n", 100*s.Effort())
-	} else {
-		s, err = schemanet.NewSession(d.Network, opts)
+		sess, saver = plain{s}, s
+	default:
+		s, err := schemanet.NewSession(d.Network, opts)
 		if err != nil {
 			fatal(err)
 		}
+		sess, saver = plain{s}, s
 	}
 
 	n := d.Network.NumCandidates()
@@ -81,13 +171,21 @@ func main() {
 	if k <= 0 {
 		k = int(*effort * float64(n))
 	}
+	violations, err := sess.Violations()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("network: %d schemas, %d candidates, %d constraint violations\n",
-		d.Network.NumSchemas(), n, s.Violations())
-	fmt.Printf("initial uncertainty: %.2f bits\n\n", s.Uncertainty())
+		d.Network.NumSchemas(), n, violations)
+	h, err := sess.Uncertainty()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("initial uncertainty: %.2f bits\n\n", h)
 
 	stdin := bufio.NewScanner(os.Stdin)
 	for i := 0; i < k; i++ {
-		c, ok := s.Suggest()
+		c, ok := sess.Suggest()
 		if !ok {
 			break
 		}
@@ -95,14 +193,14 @@ func main() {
 		if *useOracle {
 			correct = d.GroundTruth.ContainsCorrespondence(d.Network.Candidate(c))
 		} else {
-			fmt.Printf("[%d/%d] correct? %s  (y/n) ", i+1, k, s.Describe(c))
+			fmt.Printf("[%d/%d] correct? %s  (y/n) ", i+1, k, sess.Describe(c))
 			if !stdin.Scan() {
 				break
 			}
 			ans := strings.TrimSpace(strings.ToLower(stdin.Text()))
 			correct = ans == "y" || ans == "yes"
 		}
-		if err := s.Assert(c, correct); err != nil {
+		if err := sess.Assert(c, correct); err != nil {
 			fatal(err)
 		}
 	}
@@ -112,15 +210,26 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := s.Save(sf); err != nil {
+		if err := saver.Save(sf); err != nil {
 			fatal(err)
 		}
 		sf.Close()
 		fmt.Printf("session saved to %s\n", *save)
 	}
 
-	fmt.Printf("\nafter %.0f%% effort: uncertainty %.2f bits\n", 100*s.Effort(), s.Uncertainty())
-	trusted := s.Instantiate()
+	spent, err := sess.Effort()
+	if err != nil {
+		fatal(err)
+	}
+	h, err = sess.Uncertainty()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nafter %.0f%% effort: uncertainty %.2f bits\n", 100*spent, h)
+	trusted, err := sess.Instantiate()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("instantiated matching: %d correspondences\n", trusted.Size())
 	if d.GroundTruth != nil {
 		inter := trusted.IntersectionSize(d.GroundTruth)

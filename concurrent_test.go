@@ -10,6 +10,7 @@ package schemanet_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"strings"
@@ -402,6 +403,113 @@ func TestConcurrentSaveRoundTrip(t *testing.T) {
 	for c := 0; c < net.NumCandidates(); c++ {
 		if got, want := mustProb(t, restored, c), mustProb(t, conc, c); got != want {
 			t.Fatalf("restored p(%d) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+// TestConcurrentSaveRacingAssertBatch: Save's snapshot must be a
+// consistent sequence point — a batch that races it appears in the
+// saved history whole or not at all, never torn, and its records stay
+// contiguous (the batch appends them to the feedback log in one
+// critical section). Runs under -race in CI.
+func TestConcurrentSaveRacingAssertBatch(t *testing.T) {
+	net, truth := multiVideoNet(t, 4)
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Exact: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Slice the candidate universe into batches of 3 and tag each
+	// candidate's printed names with its batch, so a decoded history can
+	// be checked for torn batches.
+	const batchSize = 3
+	batchOf := make(map[string]int) // "from|to" -> batch index
+	var batches [][]schemanet.Assertion
+	for c := 0; c+batchSize <= net.NumCandidates(); c += batchSize {
+		var b []schemanet.Assertion
+		for _, cc := range []int{c, c + 1, c + 2} {
+			b = append(b, schemanet.Assertion{
+				Cand: cc, Approved: truth.ContainsCorrespondence(net.Candidate(cc)),
+			})
+			cand := net.Candidate(cc)
+			batchOf[net.FullName(cand.A)+"|"+net.FullName(cand.B)] = len(batches)
+		}
+		batches = append(batches, b)
+	}
+	if len(batches) < 4 {
+		t.Fatalf("only %d batches; need contention", len(batches))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(batches)+64)
+	// Two writers split the batches between them.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(batches); i += 2 {
+				if err := conc.AssertBatch(batches[i]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// A saver snapshots continuously while the writers run.
+	var snapshots [][]byte
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			var buf bytes.Buffer
+			if err := conc.Save(&buf); err != nil {
+				errs <- err
+				return
+			}
+			snapshots = append(snapshots, append([]byte(nil), buf.Bytes()...))
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i, snap := range snapshots {
+		var st struct {
+			History []struct {
+				From string `json:"from"`
+				To   string `json:"to"`
+			} `json:"history"`
+		}
+		if err := json.Unmarshal(snap, &st); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if len(st.History)%batchSize != 0 {
+			t.Fatalf("snapshot %d holds %d records: a batch of %d was torn", i, len(st.History), batchSize)
+		}
+		// Whole batches, each contiguous.
+		seen := make(map[int]bool)
+		for j := 0; j < len(st.History); j += batchSize {
+			b, ok := batchOf[st.History[j].From+"|"+st.History[j].To]
+			if !ok {
+				t.Fatalf("snapshot %d: unknown record %+v", i, st.History[j])
+			}
+			if seen[b] {
+				t.Fatalf("snapshot %d: batch %d appears twice", i, b)
+			}
+			seen[b] = true
+			for k := 1; k < batchSize; k++ {
+				got := batchOf[st.History[j+k].From+"|"+st.History[j+k].To]
+				if got != b {
+					t.Fatalf("snapshot %d: record %d belongs to batch %d, interleaved into batch %d",
+						i, j+k, got, b)
+				}
+			}
+		}
+		// Every snapshot must itself be loadable.
+		if _, err := schemanet.LoadSession(net, &schemanet.Options{Exact: true, Seed: 8}, bytes.NewReader(snap)); err != nil {
+			t.Fatalf("snapshot %d does not load: %v", i, err)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package schemanet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -12,8 +13,15 @@ import (
 // history in order. Probabilities are not persisted — they are
 // recomputed deterministically from the network, the options, and the
 // replayed feedback.
+//
+// The same format doubles as the SessionStore's snapshot file: there,
+// Seq records the WAL sequence number the snapshot covers (recovery
+// drops WAL records at or below it), and each entry may carry the
+// asserting annotator. Plain Session.Save leaves both zero — a
+// snapshot is always also a loadable saved session.
 type sessionState struct {
 	Version    int              `json:"version"`
+	Seq        uint64           `json:"seq,omitempty"`
 	Candidates int              `json:"candidates"`
 	History    []savedAssertion `json:"history"`
 }
@@ -21,15 +29,33 @@ type sessionState struct {
 // savedAssertion references a correspondence by its attribute names so
 // saved sessions survive candidate reordering across versions.
 type savedAssertion struct {
-	From     string `json:"from"`
-	To       string `json:"to"`
-	Approved bool   `json:"approved"`
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Approved  bool   `json:"approved"`
+	Annotator string `json:"annotator,omitempty"`
 }
 
 // Save writes the session's feedback so reconciliation can resume later
 // (see LoadSession). The pay-as-you-go workflow spans days in practice;
 // the expert's assertions are the only state worth keeping.
+//
+// Save validates before writing: every history entry must resolve from
+// its attribute names back to the asserted candidate (an ambiguous
+// FullName — two attributes sharing a printed name — would make the
+// file unloadable). On any error nothing is written to w: the state is
+// marshaled in memory and emitted with a single Write, so a failed
+// Save can never leave a half-written session file behind.
 func (s *Session) Save(w io.Writer) error {
+	st, err := s.sessionState()
+	if err != nil {
+		return err
+	}
+	return writeSessionState(w, st)
+}
+
+// sessionState snapshots the assertion history in saveable, validated
+// form.
+func (s *Session) sessionState() (sessionState, error) {
 	net := s.Network()
 	st := sessionState{Version: 1, Candidates: net.NumCandidates()}
 	for _, a := range s.pmn.Feedback().History() {
@@ -40,9 +66,154 @@ func (s *Session) Save(w io.Writer) error {
 			Approved: a.Approved,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(st)
+	if err := validateSaveable(net, st.History, s.pmn.Feedback().History()); err != nil {
+		return sessionState{}, err
+	}
+	return st, nil
+}
+
+// validateSaveable proves each rendered history entry resolves back to
+// the candidate it was rendered from, so the file LoadSession sees is
+// guaranteed loadable.
+func validateSaveable(net *Network, hist []savedAssertion, src []core.Assertion) error {
+	idx := attrIndex(net)
+	for i, sa := range hist {
+		a, err := resolveSaved(net, idx, i, sa)
+		if err != nil {
+			return fmt.Errorf("schemanet: save: %w", err)
+		}
+		if a.Cand != src[i].Cand {
+			return fmt.Errorf("schemanet: save: history entry %d: %q ↔ %q resolves to candidate %d, not the asserted %d (ambiguous attribute name)",
+				i, sa.From, sa.To, a.Cand, src[i].Cand)
+		}
+	}
+	return nil
+}
+
+// writeSessionState marshals st and emits it with one Write.
+func writeSessionState(w io.Writer, st sessionState) error {
+	buf, err := marshalSessionState(st)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+func marshalSessionState(st sessionState) ([]byte, error) {
+	buf, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("schemanet: encoding session: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// attrIndex maps every attribute's full name to its id.
+func attrIndex(net *Network) map[string]AttrID {
+	idx := make(map[string]AttrID, net.NumAttributes())
+	for _, sch := range net.Schemas() {
+		for _, a := range sch.Attrs {
+			idx[net.FullName(a)] = a
+		}
+	}
+	return idx
+}
+
+// resolveSaved resolves one saved history entry to a core assertion.
+// Errors carry the history index and the offending field, so a corrupt
+// record in a large file is diagnosable without a hex dump.
+func resolveSaved(net *Network, idx map[string]AttrID, i int, sa savedAssertion) (core.Assertion, error) {
+	resolve := func(field, name string) (AttrID, error) {
+		if name == "" {
+			return 0, fmt.Errorf("session entry %d, field %q: empty attribute name", i, field)
+		}
+		a, ok := idx[name]
+		if !ok {
+			return 0, fmt.Errorf("session entry %d, field %q: unknown attribute %q", i, field, name)
+		}
+		return a, nil
+	}
+	a, err := resolve("from", sa.From)
+	if err != nil {
+		return core.Assertion{}, err
+	}
+	b, err := resolve("to", sa.To)
+	if err != nil {
+		return core.Assertion{}, err
+	}
+	c := net.CandidateIndex(a, b)
+	if c < 0 {
+		return core.Assertion{}, fmt.Errorf("session entry %d: %s ↔ %s is not a candidate correspondence",
+			i, sa.From, sa.To)
+	}
+	return core.Assertion{Cand: c, Approved: sa.Approved}, nil
+}
+
+// resolveHistory resolves a full saved history, rejecting duplicates
+// with both positions named.
+func resolveHistory(net *Network, hist []savedAssertion) ([]core.Assertion, error) {
+	idx := attrIndex(net)
+	batch := make([]core.Assertion, 0, len(hist))
+	first := make(map[int]int, len(hist))
+	for i, sa := range hist {
+		a, err := resolveSaved(net, idx, i, sa)
+		if err != nil {
+			return nil, err
+		}
+		if j, dup := first[a.Cand]; dup {
+			return nil, fmt.Errorf("session entry %d: duplicate assertion for %s ↔ %s (first at entry %d)",
+				i, sa.From, sa.To, j)
+		}
+		first[a.Cand] = i
+		batch = append(batch, a)
+	}
+	return batch, nil
+}
+
+// replaySession builds a fresh session for net and batch-applies a
+// resolved history: the whole history is view-maintained first and
+// each touched component is refilled and recomputed once at the end —
+// at most one resampling round per touched component. LoadSession and
+// the SessionStore's WAL recovery both restore through this one path.
+func replaySession(net *Network, opts *Options, hist []savedAssertion) (*Session, error) {
+	s, err := NewSession(net, opts)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := resolveHistory(net, hist)
+	if err != nil {
+		return nil, fmt.Errorf("schemanet: %w", err)
+	}
+	if len(batch) == 0 {
+		return s, nil
+	}
+	if err := s.pmn.AssertBatch(batch); err != nil {
+		return nil, fmt.Errorf("schemanet: replaying session history: %w", err)
+	}
+	return s, nil
+}
+
+// decodeSessionState parses a saved session, annotating JSON-level
+// failures with their byte offset.
+func decodeSessionState(r io.Reader) (sessionState, error) {
+	var st sessionState
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&st); err != nil {
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			return st, fmt.Errorf("schemanet: decoding session at byte offset %d: %w", syn.Offset, err)
+		case errors.As(err, &typ):
+			return st, fmt.Errorf("schemanet: decoding session at byte offset %d, field %q: %w", typ.Offset, typ.Field, err)
+		default:
+			return st, fmt.Errorf("schemanet: decoding session: %w", err)
+		}
+	}
+	if st.Version != 1 {
+		return st, fmt.Errorf("schemanet: unsupported session version %d", st.Version)
+	}
+	return st, nil
 }
 
 // LoadSession builds a fresh session for net and replays the feedback
@@ -67,42 +238,14 @@ func (s *Session) Save(w io.Writer) error {
 // exact components, the bit-exact probabilities) of the restored
 // session match the saved one even when promotions happened mid-session
 // rather than at replay time.
+//
+// Decoder errors carry positional context: the byte offset for JSON
+// syntax and type failures, the history index and field for records
+// that do not resolve against net.
 func LoadSession(net *Network, opts *Options, r io.Reader) (*Session, error) {
-	var st sessionState
-	if err := json.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("schemanet: decoding session: %w", err)
-	}
-	if st.Version != 1 {
-		return nil, fmt.Errorf("schemanet: unsupported session version %d", st.Version)
-	}
-	s, err := NewSession(net, opts)
+	st, err := decodeSessionState(r)
 	if err != nil {
 		return nil, err
 	}
-	// Resolve attribute references once.
-	attrByName := make(map[string]AttrID, net.NumAttributes())
-	for _, sch := range net.Schemas() {
-		for _, a := range sch.Attrs {
-			attrByName[net.FullName(a)] = a
-		}
-	}
-	batch := make([]core.Assertion, 0, len(st.History))
-	for i, sa := range st.History {
-		a, okA := attrByName[sa.From]
-		b, okB := attrByName[sa.To]
-		if !okA || !okB {
-			return nil, fmt.Errorf("schemanet: session entry %d references unknown attribute %q/%q",
-				i, sa.From, sa.To)
-		}
-		c := net.CandidateIndex(a, b)
-		if c < 0 {
-			return nil, fmt.Errorf("schemanet: session entry %d references non-candidate %s ↔ %s",
-				i, sa.From, sa.To)
-		}
-		batch = append(batch, core.Assertion{Cand: c, Approved: sa.Approved})
-	}
-	if err := s.pmn.AssertBatch(batch); err != nil {
-		return nil, fmt.Errorf("schemanet: replaying session history: %w", err)
-	}
-	return s, nil
+	return replaySession(net, opts, st.History)
 }

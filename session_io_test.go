@@ -91,6 +91,88 @@ func TestLoadSessionErrors(t *testing.T) {
 	}
 }
 
+// TestLoadSessionErrorContext: decoder errors name where the problem
+// is — byte offset for JSON-level failures, history index and field
+// for records that do not resolve — so a corrupt file is diagnosable.
+func TestLoadSessionErrorContext(t *testing.T) {
+	net, _ := videoNet(t)
+	cases := []struct {
+		name, in string
+		want     []string
+	}{
+		{"syntax offset", `{"version":1,"history":[}`, []string{"byte offset"}},
+		{"type offset", `{"version":1,"history":[{"from":3}]}`, []string{"byte offset", "history.from"}},
+		{"unknown from", `{"version":1,"history":[{"from":"X.y","to":"BBC.date","approved":true}]}`,
+			[]string{"entry 0", `field "from"`, `"X.y"`}},
+		{"unknown to", `{"version":1,"history":[
+			{"from":"BBC.date","to":"DVDizzy.releaseDate","approved":true},
+			{"from":"BBC.date","to":"Zed.w","approved":true}]}`,
+			[]string{"entry 1", `field "to"`, `"Zed.w"`}},
+		{"empty field", `{"version":1,"history":[{"from":"","to":"BBC.date"}]}`,
+			[]string{"entry 0", `field "from"`, "empty"}},
+		{"non-candidate", `{"version":1,"history":[{"from":"DVDizzy.releaseDate","to":"DVDizzy.screenDate","approved":true}]}`,
+			[]string{"entry 0", "not a candidate"}},
+		{"duplicate", `{"version":1,"history":[
+			{"from":"BBC.date","to":"DVDizzy.releaseDate","approved":true},
+			{"from":"BBC.date","to":"DVDizzy.releaseDate","approved":false}]}`,
+			[]string{"entry 1", "duplicate", "first at entry 0"}},
+	}
+	for _, tc := range cases {
+		_, err := schemanet.LoadSession(net, &schemanet.Options{Exact: true}, strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: want error", tc.name)
+			continue
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, frag)
+			}
+		}
+	}
+}
+
+// TestSaveRejectsAmbiguousNames: Save must refuse — writing nothing —
+// when a history entry's rendered names would not resolve back to the
+// asserted candidate, instead of emitting a file that replays someone
+// else's assertion. Two schemas sharing a name make "S.a" ambiguous.
+func TestSaveRejectsAmbiguousNames(t *testing.T) {
+	b := schemanet.NewBuilder()
+	s1 := b.AddSchema("S", "a") // attr 0
+	s2 := b.AddSchema("S", "a") // attr 1 — same FullName "S.a"
+	tt := b.AddSchema("T", "x") // attr 2
+	b.Connect(s1, tt)
+	b.Connect(s2, tt)
+	b.AddCorrespondence(0, 2, 0.9)
+	b.AddCorrespondence(1, 2, 0.8)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assert the candidate whose "S.a" is shadowed by the later schema.
+	shadowed := net.CandidateIndex(0, 2)
+	if shadowed < 0 {
+		t.Fatal("missing expected candidate")
+	}
+	if err := s.Assert(shadowed, true); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	err = s.Save(&buf)
+	if err == nil {
+		t.Fatal("Save accepted an ambiguous, unloadable history")
+	}
+	if !strings.Contains(err.Error(), "entry 0") {
+		t.Errorf("error %q does not name the entry", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Save wrote %d bytes before failing; must write nothing on error", buf.Len())
+	}
+}
+
 // TestSessionSaveLoadMultiComponent: the round trip must reproduce
 // identical probabilities on a decomposed (multi-component) session
 // under Options.Exact, including replayed disapprovals that trigger

@@ -1,0 +1,656 @@
+package schemanet_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"schemanet"
+	"schemanet/internal/wal"
+)
+
+// logCapture collects store warnings for assertions about recovery.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+}
+
+func (lc *logCapture) contains(frag string) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, l := range lc.lines {
+		if strings.Contains(l, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStoreBasicDurability(t *testing.T) {
+	net, truth := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 11}
+	fsys := wal.NewMemFS()
+	sopts := &schemanet.StoreOptions{Session: opts, FS: fsys, Logf: t.Logf}
+
+	st, err := schemanet.OpenStore("store", net, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive with a reference session so we can compare probabilities.
+	ref, err := schemanet.NewSession(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asserted []int
+	for i := 0; i < 3; i++ {
+		c, ok := ref.Suggest()
+		if !ok {
+			break
+		}
+		ok = truth.ContainsCorrespondence(net.Candidate(c))
+		if err := ref.Assert(c, ok); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.AssertAs("expert", c, ok); err != nil {
+			t.Fatal(err)
+		}
+		asserted = append(asserted, c)
+	}
+	if seq, err := ds.Seq(); err != nil || seq != uint64(len(asserted)) {
+		t.Fatalf("Seq() = %d, %v; want %d", seq, err, len(asserted))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Handles die with the store.
+	if _, err := ds.Probability(0); !errors.Is(err, schemanet.ErrStoreClosed) {
+		t.Fatalf("after Close, Probability err = %v, want ErrStoreClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Reopen: bit-identical probabilities under exact inference.
+	st2, err := schemanet.OpenStore("store", net, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ds2, err := st2.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < net.NumCandidates(); c++ {
+		if got, want := mustProb(t, ds2, c), mustProb(t, ref, c); got != want {
+			t.Fatalf("recovered p(%d) = %v, want %v (bit-identical)", c, got, want)
+		}
+	}
+	hist, err := ds2.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != len(asserted) {
+		t.Fatalf("recovered %d history records, want %d", len(hist), len(asserted))
+	}
+	for i, r := range hist {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.Annotator != "expert" {
+			t.Fatalf("record %d lost annotator: %+v", i, r)
+		}
+		cand := net.Candidate(asserted[i])
+		if r.From != net.FullName(cand.A) || r.To != net.FullName(cand.B) {
+			t.Fatalf("record %d is %s ↔ %s, want candidate %d", i, r.From, r.To, asserted[i])
+		}
+	}
+}
+
+// storeScenario is the fixed workload the exhaustive crash sweep
+// replays: single asserts, a batch, an auto-compaction (SnapshotEvery
+// 3 trips inside assert #3), an explicit compaction, and a store close
+// — so the sweep's crash points land inside every protocol step.
+// It returns how many assertions were acknowledged (their calls
+// returned nil) before the first failure.
+func storeScenario(net *schemanet.Network, opts *schemanet.Options, fsys *wal.MemFS, logf func(string, ...any)) int {
+	st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{
+		Session: opts, FS: fsys, SnapshotEvery: 3, Logf: logf,
+	})
+	if err != nil {
+		return 0
+	}
+	defer st.Close()
+	ds, err := st.Session("alpha")
+	if err != nil {
+		return 0
+	}
+	if ds.AssertAs("ann1", 0, true) != nil {
+		return 0
+	}
+	if ds.AssertAs("ann2", 1, false) != nil {
+		return 1
+	}
+	if ds.AssertAs("ann1", 2, true) != nil { // trips auto-compaction
+		return 2
+	}
+	if ds.AssertBatchAs("crowd", []schemanet.Assertion{{Cand: 3, Approved: true}, {Cand: 4, Approved: false}}) != nil {
+		return 3
+	}
+	if ds.Compact() != nil {
+		return 5
+	}
+	if ds.Assert(1, false) != nil { // duplicate: rejected, not logged
+		// expected — fall through
+		_ = err
+	}
+	return 5
+}
+
+// intendedRecords is the full assertion sequence storeScenario commits,
+// in order, as it must appear in a recovered history.
+func intendedRecords(net *schemanet.Network) []schemanet.AssertionRecord {
+	mk := func(seq uint64, ann string, c int, ok bool) schemanet.AssertionRecord {
+		cand := net.Candidate(c)
+		return schemanet.AssertionRecord{
+			Seq: seq, Annotator: ann,
+			From: net.FullName(cand.A), To: net.FullName(cand.B), Approved: ok,
+		}
+	}
+	return []schemanet.AssertionRecord{
+		mk(1, "ann1", 0, true),
+		mk(2, "ann2", 1, false),
+		mk(3, "ann1", 2, true),
+		mk(4, "crowd", 3, true),
+		mk(5, "crowd", 4, false),
+	}
+}
+
+// TestStoreCrashAtEveryOp is the headline robustness property: crash
+// the filesystem at every single mutating operation of a workload that
+// spans appends, auto-compaction, explicit compaction, and shutdown;
+// after each crash, recovery must yield an exact prefix of the
+// committed assertion sequence, containing every acknowledged
+// assertion (no committed assertion is ever lost), replaying to
+// probabilities bit-identical to a never-crashed session.
+func TestStoreCrashAtEveryOp(t *testing.T) {
+	net, _ := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 5}
+	intended := intendedRecords(net)
+	// Candidate index per intended record, for the replay check.
+	intendedCands := []int{0, 1, 2, 3, 4}
+	intendedOK := []bool{true, false, true, true, false}
+
+	// Size the sweep with one uncrashed run.
+	clean := wal.NewMemFS()
+	if got := storeScenario(net, opts, clean, t.Logf); got != 5 {
+		t.Fatalf("uncrashed scenario acked %d assertions, want 5", got)
+	}
+	total := clean.Ops()
+	if total < 30 {
+		t.Fatalf("scenario runs only %d mutating ops; crash sweep would be trivial", total)
+	}
+	discard := func(string, ...any) {}
+
+	for k := 0; k < total; k++ {
+		fsys := wal.NewMemFS()
+		fsys.CrashAfterOps(k)
+		acked := storeScenario(net, opts, fsys, discard)
+		if !fsys.Crashed() {
+			t.Fatalf("crash point %d/%d never hit", k, total)
+		}
+		fsys.Restart()
+
+		st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{
+			Session: opts, FS: fsys, Logf: discard,
+		})
+		if err != nil {
+			t.Fatalf("crash@%d: reopening store: %v", k, err)
+		}
+		ds, err := st.Session("alpha")
+		if err != nil {
+			t.Fatalf("crash@%d: recovering session: %v", k, err)
+		}
+		hist, err := ds.History()
+		if err != nil {
+			t.Fatalf("crash@%d: history: %v", k, err)
+		}
+		// Exact prefix of the committed sequence…
+		if len(hist) > len(intended) {
+			t.Fatalf("crash@%d: recovered %d records, more than ever asserted", k, len(hist))
+		}
+		for i, r := range hist {
+			if r != intended[i] {
+				t.Fatalf("crash@%d: record %d = %+v, want %+v", k, i, r, intended[i])
+			}
+		}
+		// …containing everything that was acknowledged.
+		if len(hist) < acked {
+			t.Fatalf("crash@%d: LOST COMMITTED ASSERTIONS: %d acknowledged, %d recovered", k, acked, len(hist))
+		}
+		// …replaying to bit-identical exact probabilities.
+		ref, err := schemanet.NewSession(net, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(hist); i++ {
+			if err := ref.Assert(intendedCands[i], intendedOK[i]); err != nil {
+				t.Fatalf("crash@%d: reference replay: %v", k, err)
+			}
+		}
+		for c := 0; c < net.NumCandidates(); c++ {
+			if got, want := mustProb(t, ds, c), mustProb(t, ref, c); got != want {
+				t.Fatalf("crash@%d: recovered p(%d) = %v, want %v", k, c, got, want)
+			}
+		}
+		// The recovered session must accept further work and survive a
+		// clean close.
+		if len(hist) < len(intended) {
+			if err := ds.AssertAs("post", intendedCands[len(hist)], intendedOK[len(hist)]); err != nil {
+				t.Fatalf("crash@%d: recovered session rejects new assertion: %v", k, err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("crash@%d: closing recovered store: %v", k, err)
+		}
+	}
+}
+
+// TestStoreFailedSyncSelfHeals: a WAL fsync failure degrades the
+// session (the assert reports the durability gap) but loses nothing —
+// the record stays live in memory, and the next write first heals the
+// log through a compaction that persists it.
+func TestStoreFailedSyncSelfHeals(t *testing.T) {
+	net, _ := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 3}
+	fsys := wal.NewMemFS()
+	lc := &logCapture{}
+	st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{Session: opts, FS: fsys, Logf: lc.logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Assert(0, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail exactly one fsync of the WAL file.
+	failed := false
+	fsys.SetHook(func(op, name string, n int) error {
+		if !failed && op == "sync" && filepath.Base(name) == "wal.log" {
+			failed = true
+			return errors.New("injected: disk on fire")
+		}
+		return nil
+	})
+	err = ds.Assert(1, false)
+	fsys.SetHook(nil)
+	if err == nil || !strings.Contains(err.Error(), "not durably logged") {
+		t.Fatalf("assert with failed sync: err = %v, want durability error", err)
+	}
+	if !failed {
+		t.Fatal("hook never fired")
+	}
+	// The assertion is live in memory…
+	if p, err := ds.Probability(1); err != nil || p != 0 {
+		t.Fatalf("disapproved candidate p = %v, %v; want 0 (assertion applied in memory)", p, err)
+	}
+	// …and the next write heals the log, persisting it.
+	if err := ds.Assert(2, true); err != nil {
+		t.Fatalf("assert after heal: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{Session: opts, FS: fsys, Logf: lc.logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ds2, err := st2.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := ds2.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("recovered %d records, want 3 (sync-failed record must be persisted by healing)", len(hist))
+	}
+	if !hist[1].Approved == false && hist[1].Seq == 2 {
+		t.Fatalf("record 2 mangled: %+v", hist[1])
+	}
+}
+
+// TestStoreShortWriteTornTail: a torn append (partial frame hits disk)
+// fails the assert; if the process dies before healing, recovery drops
+// exactly the torn tail with a logged warning and keeps every
+// acknowledged record.
+func TestStoreShortWriteTornTail(t *testing.T) {
+	net, _ := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 3}
+	fsys := wal.NewMemFS()
+	st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{Session: opts, FS: fsys, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Assert(0, true); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys.ShortWriteNext(5) // the next WAL append persists 5 bytes of the frame
+	if err := ds.Assert(1, false); err == nil {
+		t.Fatal("assert with torn write: want error")
+	}
+	// Make the torn bytes durable — the worst case — then die unhealed.
+	if err := ds.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash()
+	fsys.Restart()
+
+	lc := &logCapture{}
+	st2, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{Session: opts, FS: fsys, Logf: lc.logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ds2, err := st2.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := ds2.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].Seq != 1 || !hist[0].Approved {
+		t.Fatalf("recovered history %+v, want exactly the acknowledged record", hist)
+	}
+	if !lc.contains("damaged tail") {
+		t.Fatalf("torn tail dropped silently; warnings: %v", lc.lines)
+	}
+	// The unacknowledged assertion can simply be retried.
+	if err := ds2.Assert(1, false); err != nil {
+		t.Fatalf("retry after torn-tail recovery: %v", err)
+	}
+}
+
+// TestStoreLRUEviction: the pool bound holds, the least-recently-used
+// session is the one evicted, and an evicted session reopens
+// transparently with identical state.
+func TestStoreLRUEviction(t *testing.T) {
+	net, truth := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 9}
+	fsys := wal.NewMemFS()
+	st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{
+		Session: opts, FS: fsys, MaxOpen: 2, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	names := []string{"a", "b", "c"}
+	handles := map[string]*schemanet.DurableSession{}
+	want := map[string]float64{}
+	for i, name := range names {
+		ds, err := st.Session(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[name] = ds
+		c := i // different first assertion per session
+		if err := ds.Assert(c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = mustProb(t, ds, 3)
+	}
+	if got := st.Resident(); got != 2 {
+		t.Fatalf("Resident() = %d after opening 3 sessions with MaxOpen 2", got)
+	}
+	// "a" was the LRU victim; its handle must reopen it transparently.
+	if got := mustProb(t, handles["a"], 3); got != want["a"] {
+		t.Fatalf("reopened session a: p = %v, want %v", got, want["a"])
+	}
+	if got := st.Resident(); got != 2 {
+		t.Fatalf("Resident() = %d after transparent reopen", got)
+	}
+	hist, err := handles["a"].History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Fatalf("session a recovered %d records after eviction, want 1", len(hist))
+	}
+
+	// Explicit eviction: resident or not, and double-evict, are fine.
+	if err := st.Evict("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Evict("b"); err != nil {
+		t.Fatalf("evicting non-resident session: %v", err)
+	}
+	if got := mustProb(t, handles["b"], 3); got != want["b"] {
+		t.Fatalf("session b after explicit evict: p = %v, want %v", got, want["b"])
+	}
+}
+
+func TestStoreClosedAndInvalidNames(t *testing.T) {
+	net, _ := videoNet(t)
+	fsys := wal.NewMemFS()
+	st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{
+		Session: &schemanet.Options{Exact: true}, FS: fsys, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", ".", "..", ".hidden", "-flag", "a/b", "a\\b", "x y", strings.Repeat("n", 200)} {
+		if _, err := st.Session(bad); err == nil {
+			t.Errorf("Session(%q): want error", bad)
+		}
+	}
+	ds, err := st.Session("ok-1.x_y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Session("ok-1.x_y"); !errors.Is(err, schemanet.ErrStoreClosed) {
+		t.Fatalf("Session on closed store: %v", err)
+	}
+	if err := ds.Assert(0, true); !errors.Is(err, schemanet.ErrStoreClosed) {
+		t.Fatalf("Assert on closed store: %v", err)
+	}
+	if err := st.Evict("ok-1.x_y"); !errors.Is(err, schemanet.ErrStoreClosed) {
+		t.Fatalf("Evict on closed store: %v", err)
+	}
+}
+
+// TestStoreBatchAtomicity: a rejected batch leaves no trace — not in
+// memory, not in the WAL, not after a restart.
+func TestStoreBatchAtomicity(t *testing.T) {
+	net, _ := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 2}
+	fsys := wal.NewMemFS()
+	sopts := &schemanet.StoreOptions{Session: opts, FS: fsys, Logf: t.Logf}
+	st, err := schemanet.OpenStore("store", net, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range [][]schemanet.Assertion{
+		{{Cand: 0, Approved: true}, {Cand: 99, Approved: true}}, // out of universe
+		{{Cand: 0, Approved: true}, {Cand: 0, Approved: false}}, // duplicate in batch
+		{{Cand: -1, Approved: true}},                            // negative
+	} {
+		if err := ds.AssertBatch(batch); err == nil {
+			t.Fatalf("batch %+v: want error", batch)
+		}
+		if seq, _ := ds.Seq(); seq != 0 {
+			t.Fatalf("rejected batch %+v advanced seq to %d", batch, seq)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := schemanet.OpenStore("store", net, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ds2, err := st2.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist, _ := ds2.History(); len(hist) != 0 {
+		t.Fatalf("rejected batches leaked %d records into the WAL", len(hist))
+	}
+}
+
+// TestStoreConcurrentSessions exercises the store under the race
+// detector: concurrent writers on separate sessions, plus readers and
+// writers sharing one session, against a small LRU pool so eviction
+// and reopen race with use.
+func TestStoreConcurrentSessions(t *testing.T) {
+	net, truth := multiVideoNet(t, 3)
+	opts := &schemanet.Options{Exact: true, Seed: 13}
+	fsys := wal.NewMemFS()
+	st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{
+		Session: opts, FS: fsys, MaxOpen: 2, SnapshotEvery: 4, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := []string{"s0", "s1", "s2", "shared"}[w]
+			ds, err := st.Session(name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for c := 0; c < net.NumCandidates(); c++ {
+				if c%4 != w {
+					continue
+				}
+				if err := ds.AssertAs("w", c, truth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := ds.Probability(c); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers hammering the shared session while it is written.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ds, err := st.Session("shared")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := ds.Uncertainty(); err != nil {
+					errs <- err
+					return
+				}
+				ds.Suggest()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestStoreSyncPolicyNone: under "none" the WAL is fsynced only at
+// compaction/eviction/close — a crash may lose a suffix of
+// acknowledged assertions, and a clean Close loses nothing.
+func TestStoreSyncPolicyNone(t *testing.T) {
+	net, _ := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 4}
+	fsys := wal.NewMemFS()
+	sopts := &schemanet.StoreOptions{Session: opts, FS: fsys, Sync: "none", Logf: t.Logf}
+	st, err := schemanet.OpenStore("store", net, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if err := ds.Assert(c, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil { // retire compacts: everything durable
+		t.Fatal(err)
+	}
+	fsys.Crash()
+	fsys.Restart()
+	st2, err := schemanet.OpenStore("store", net, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ds2, err := st2.Session("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, _ := ds2.Seq(); seq != 3 {
+		t.Fatalf("after clean close under \"none\": seq %d, want 3", seq)
+	}
+}
+
+func TestOpenStoreOptionValidation(t *testing.T) {
+	net, _ := videoNet(t)
+	fsys := wal.NewMemFS()
+	if _, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{FS: fsys, Sync: "sometimes"}); err == nil {
+		t.Error("bad sync policy accepted")
+	}
+	if _, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{FS: fsys, MaxOpen: -1}); err == nil {
+		t.Error("negative MaxOpen accepted")
+	}
+	if _, err := schemanet.OpenStore("store", nil, &schemanet.StoreOptions{FS: fsys}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
