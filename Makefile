@@ -11,10 +11,15 @@ SHELL := /bin/bash
 BENCHTIME ?= 1x
 COUNT     ?= 3
 
+# bench-throughput knobs: the -cpu list the multi-core rig runs at, and
+# an optional JSON summary path for CI artifacts (empty = text only).
+BENCHCPUS ?= 1,2,4
+BENCHJSON ?=
+
 # fuzz knob: how long `make fuzz` mutates each target.
 FUZZTIME ?= 20s
 
-.PHONY: all vet build test bench bench-smoke race examples fuzz
+.PHONY: all vet build test bench bench-smoke bench-throughput race examples fuzz
 
 all: vet build test
 
@@ -41,6 +46,16 @@ bench-smoke:
 	# The concurrent-serving benchmark measures whole schedules (seconds
 	# per op at C=2048), so the smoke runs only the C=512 case.
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentAssertMultiComp/C=512' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
+	# Adaptive-vs-fixed refill budgets on the multicomp assert schedule.
+	$(GO) test -run '^$$' -bench 'BenchmarkSessionAssertBudget' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
+
+# Multi-core throughput rig: the Throughput benchmarks at each GOMAXPROCS
+# in BENCHCPUS, reported as medians plus a scaling table (ratio vs the
+# lowest cpu). Set BENCHJSON=path.json to also emit the machine-readable
+# summary cmd/benchmedian -json produces (CI archives these).
+bench-throughput:
+	$(GO) test -run '^$$' -bench 'BenchmarkThroughput' -cpu $(BENCHCPUS) -benchtime $(BENCHTIME) -count $(COUNT) . | \
+		$(GO) run ./cmd/benchmedian $(if $(BENCHJSON),-json $(BENCHJSON))
 
 # Run every example main once — a smoke test that the public API
 # surface the examples exercise keeps working end to end.

@@ -460,6 +460,272 @@ func BenchmarkConcurrentAssertMultiComp(b *testing.B) {
 	}
 }
 
+// --- Multi-core throughput rig ----------------------------------------
+//
+// The Throughput benchmarks report assertions/sec and suggestions/sec
+// (b.ReportMetric) rather than ns/op and are meant to be run across
+// GOMAXPROCS settings: `go test -bench Throughput -cpu 1,2,4,8` (or
+// `make bench-throughput BENCHCPUS=1,2,4,8`). cmd/benchmedian groups
+// the per-cpu variants and prints a scaling table. The worker count
+// follows GOMAXPROCS, so the -cpu flag drives both the scheduler and
+// the offered concurrency.
+
+// benchThroughputGroups builds the component-disjoint ground-truth
+// schedule (every `stride`-th candidate, grouped by owning component)
+// shared by the throughput benchmarks, and the total assertion count.
+func benchThroughputGroups(b testing.TB, d *schema.Dataset, stride int) ([][]schemanet.Assertion, int) {
+	b.Helper()
+	probe, err := schemanet.NewSession(d.Network, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := make([][]schemanet.Assertion, probe.Components())
+	total := 0
+	for c := 0; c < d.Network.NumCandidates(); c += stride {
+		k, err := probe.ComponentOf(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups[k] = append(groups[k], schemanet.Assertion{
+			Cand: c, Approved: d.GroundTruth.ContainsCorrespondence(d.Network.Candidate(c)),
+		})
+		total++
+	}
+	return groups, total
+}
+
+// runAssertSchedule drives the schedule through cs with P = GOMAXPROCS
+// goroutines pulling work units (whole component groups for the
+// disjoint shape, single assertions for the contended one) from a
+// shared counter.
+func runAssertSchedule(b *testing.B, cs *schemanet.ConcurrentSession, units [][]schemanet.Assertion) {
+	b.Helper()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1))
+				if u >= len(units) {
+					return
+				}
+				for _, a := range units[u] {
+					if err := cs.Assert(a.Cand, a.Approved); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// benchThroughputAssert measures whole-schedule assertion throughput:
+// each iteration replays the full schedule on a fresh concurrent
+// session (built off the clock) and the headline metric is
+// assertions/sec across all goroutines.
+func benchThroughputAssert(b *testing.B, d *schema.Dataset, units [][]schemanet.Assertion, total int) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cs, err := schemanet.NewConcurrentSession(d.Network, &schemanet.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		runAssertSchedule(b, cs, units)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*total)/secs, "asserts/s")
+	}
+}
+
+// BenchmarkThroughputAssertDisjoint: component-disjoint schedule, one
+// work unit per component — the shape the per-component lock sharding
+// parallelizes. Scaling over -cpu 1,2,4,8 is the serving layer's
+// headline number.
+func BenchmarkThroughputAssertDisjoint(b *testing.B) {
+	d := benchMultiComponentDataset(b, 512, 8)
+	groups, total := benchThroughputGroups(b, d, 2)
+	b.Run(fmt.Sprintf("C=512/comps=%d", len(groups)), func(b *testing.B) {
+		benchThroughputAssert(b, d, groups, total)
+	})
+}
+
+// BenchmarkThroughputAssertContended: the adversarial shape — every
+// assertion targets the single largest component, so all goroutines
+// serialize on one component lock and added cores buy only contention.
+// The gap to Disjoint bounds what schedule-aware routing is worth.
+func BenchmarkThroughputAssertContended(b *testing.B) {
+	d := benchMultiComponentDataset(b, 512, 8)
+	groups, _ := benchThroughputGroups(b, d, 2)
+	largest := 0
+	for k, g := range groups {
+		if len(g) > len(groups[largest]) {
+			largest = k
+		}
+	}
+	// One assertion per work unit: goroutines interleave on the lock
+	// instead of one goroutine owning the whole group.
+	units := make([][]schemanet.Assertion, 0, len(groups[largest]))
+	for _, a := range groups[largest] {
+		units = append(units, []schemanet.Assertion{a})
+	}
+	b.Run(fmt.Sprintf("C=512/comp-size=%d", len(units)), func(b *testing.B) {
+		benchThroughputAssert(b, d, units, len(units))
+	})
+}
+
+// BenchmarkThroughputSuggest: suggestion throughput on a session with a
+// fresh assert burst behind it — the first Suggest per component pays
+// the deferred re-rank, the rest are lock-free snapshot merges.
+// RunParallel follows -cpu, so the same invocation produces the read
+// path's scaling curve.
+func BenchmarkThroughputSuggest(b *testing.B) {
+	d := benchMultiComponentDataset(b, 512, 8)
+	cs, err := schemanet.NewConcurrentSession(d.Network, &schemanet.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups, _ := benchThroughputGroups(b, d, 4)
+	runAssertSchedule(b, cs, groups)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, ok := cs.Suggest(); !ok {
+				b.Fatal("suggestion pool drained mid-benchmark")
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "suggests/s")
+	}
+}
+
+// BenchmarkSessionAssertBudget: the adaptive refill budget against the
+// fixed one on the multicomp workload (the acceptance head-to-head;
+// accuracy parity is proven by the differential tests in
+// adaptive_test.go). Both variants report walk emissions per op — the
+// sampling-effort unit the adaptive loop economizes. suggest+assert is
+// the end-to-end step (where the gain re-rank, untouched by the budget,
+// dominates wall clock); assert-only isolates the refill path the
+// budget governs.
+func BenchmarkSessionAssertBudget(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	multi, err := datagen.SyntheticNetwork(datagen.MultiComp(), datagen.SyntheticOpts{
+		TargetCount: 512, Precision: 0.67, ConflictBias: 0.3, StrictCount: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dense, _ := benchDataset(b, 512)
+	for _, ds := range []struct {
+		name string
+		d    *schemanet.Dataset
+	}{{"multicomp", multi}, {"dense", dense}} {
+		for _, mode := range []struct {
+			name string
+			opts schemanet.Options
+		}{
+			{"fixed", schemanet.Options{Inference: "sampled"}},
+			{"adaptive", schemanet.Options{Inference: "sampled", MinSamples: 100, Convergence: 0.01}},
+		} {
+			b.Run(ds.name+"/C=512/suggest+assert/"+mode.name, func(b *testing.B) {
+				benchBudgetSuggestAssert(b, ds.d, mode.opts)
+			})
+			b.Run(ds.name+"/C=512/assert-only/"+mode.name, func(b *testing.B) {
+				benchBudgetAssertOnly(b, ds.d, mode.opts)
+			})
+		}
+	}
+}
+
+// benchBudgetSuggestAssert is benchSessionAssertOpts plus an
+// emissions/op metric: walk emissions requested on the clock, per
+// suggest+assert step (off-clock session rebuild fills excluded).
+func benchBudgetSuggestAssert(b *testing.B, d *schemanet.Dataset, opts schemanet.Options) {
+	net := d.Network
+	newSession := func(seed int64) *schemanet.Session {
+		o := opts
+		o.Seed = seed
+		s, err := schemanet.NewSession(net, &o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := newSession(0)
+	emissions := -s.SamplingEmissions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, ok := s.Suggest()
+		if !ok {
+			b.StopTimer()
+			emissions += s.SamplingEmissions()
+			s = newSession(int64(i))
+			emissions -= s.SamplingEmissions()
+			b.StartTimer()
+			c, ok = s.Suggest()
+			if !ok {
+				b.Fatal("fresh session has nothing to suggest")
+			}
+		}
+		if err := s.Assert(c, d.GroundTruth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	emissions += s.SamplingEmissions()
+	b.ReportMetric(float64(emissions)/float64(b.N), "emissions/op")
+}
+
+// benchBudgetAssertOnly times the assertion path alone on a
+// deterministic stride-3 ground-truth schedule — no Suggest, so no gain
+// re-rank: the refill the budget controls is the dominant cost.
+func benchBudgetAssertOnly(b *testing.B, d *schemanet.Dataset, opts schemanet.Options) {
+	net := d.Network
+	n := net.NumCandidates()
+	newSession := func(seed int64) *schemanet.Session {
+		o := opts
+		o.Seed = seed
+		s, err := schemanet.NewSession(net, &o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := newSession(0)
+	emissions := -s.SamplingEmissions()
+	c := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c >= n {
+			b.StopTimer()
+			emissions += s.SamplingEmissions()
+			s = newSession(int64(i))
+			emissions -= s.SamplingEmissions()
+			c = 0
+			b.StartTimer()
+		}
+		if err := s.Assert(c, d.GroundTruth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			b.Fatal(err)
+		}
+		c += 3
+	}
+	emissions += s.SamplingEmissions()
+	b.ReportMetric(float64(emissions)/float64(b.N), "emissions/op")
+}
+
 // BenchmarkSessionAssertBP is the same step cost on a matcher-produced
 // (rather than synthetic) candidate set.
 func BenchmarkSessionAssertBP(b *testing.B) {

@@ -6,11 +6,21 @@
 // noise; medians over -count=3 (see `make bench-smoke`) are what belong
 // in a comparison table.
 //
+// When the input holds the same benchmark at several -cpu settings
+// (go appends a `-N` GOMAXPROCS suffix to the name), a scaling table is
+// appended showing each cpu's median against the lowest cpu's:
+// throughput units (anything ending in "/s") as a scale-up factor,
+// ns/op as a speedup. With -json PATH the per-benchmark summary is also
+// written as machine-readable JSON ("-" for stdout) so CI can archive
+// BENCH_*.json artifacts.
+//
 //	go test -run '^$' -bench . -benchmem -count 3 . | go run ./cmd/benchmedian
+//	go test -run '^$' -bench Throughput -cpu 1,2,4 -count 3 . | go run ./cmd/benchmedian -json bench.json
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -22,22 +32,87 @@ import (
 
 type series struct {
 	name    string
-	units   []string             // unit order of first appearance
+	base    string // name without the -N GOMAXPROCS suffix
+	cpu     int    // GOMAXPROCS suffix; 1 when absent
+	units   []string
 	samples map[string][]float64 // unit -> values across runs
 	iters   []float64
 }
 
+// summary is the -json shape for one benchmark series.
+type summary struct {
+	Name    string             `json:"name"`
+	Base    string             `json:"base"`
+	CPU     int                `json:"cpu"`
+	Runs    int                `json:"runs"`
+	Medians map[string]float64 `json:"medians"`
+}
+
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	jsonPath := ""
+	for i := 1; i < len(os.Args); i++ {
+		switch arg := os.Args[i]; {
+		case arg == "-json" || arg == "--json":
+			if i+1 >= len(os.Args) {
+				fmt.Fprintln(os.Stderr, "benchmedian: -json requires a path (\"-\" for stdout)")
+				os.Exit(2)
+			}
+			i++
+			jsonPath = os.Args[i]
+		case strings.HasPrefix(arg, "-json=") || strings.HasPrefix(arg, "--json="):
+			jsonPath = arg[strings.Index(arg, "=")+1:]
+		default:
+			fmt.Fprintf(os.Stderr, "benchmedian: unknown flag %q\nusage: benchmedian [-json PATH] < bench-output\n", arg)
+			os.Exit(2)
+		}
+	}
+	var jsonW io.Writer
+	if jsonPath == "-" {
+		jsonW = os.Stdout
+	} else if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchmedian:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonW = f
+	}
+	if err := runFull(os.Stdin, os.Stdout, jsonW); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmedian:", err)
 		os.Exit(1)
 	}
 }
 
-// run reads benchmark output from r and writes it back to w with a
-// per-benchmark median table appended; main is a thin wrapper so tests
+// run reads benchmark output from r and writes it back to w with the
+// median and scaling tables appended; main is a thin wrapper so tests
 // can drive the whole pipeline on golden files.
 func run(r io.Reader, w io.Writer) error {
+	return runFull(r, w, nil)
+}
+
+// runFull is run plus an optional JSON summary sink.
+func runFull(r io.Reader, w, jsonW io.Writer) error {
+	order, byName, err := parse(r, w)
+	if err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	if err := writeText(w, order, byName); err != nil {
+		return err
+	}
+	if jsonW != nil {
+		return writeJSON(jsonW, order, byName)
+	}
+	return nil
+}
+
+// parse scans bench output, passing non-result lines straight through
+// to w and aggregating Benchmark result lines into series keyed by full
+// name. order preserves first appearance.
+func parse(r io.Reader, w io.Writer) ([]string, map[string]*series, error) {
 	var order []string
 	byName := make(map[string]*series)
 
@@ -65,7 +140,8 @@ func run(r io.Reader, w io.Writer) error {
 		name := fields[0]
 		s := byName[name]
 		if s == nil {
-			s = &series{name: name, samples: make(map[string][]float64)}
+			base, cpu := splitCPU(name)
+			s = &series{name: name, base: base, cpu: cpu, samples: make(map[string][]float64)}
 			byName[name] = s
 			order = append(order, name)
 		}
@@ -82,13 +158,26 @@ func run(r io.Reader, w io.Writer) error {
 			s.samples[unit] = append(s.samples[unit], v)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if len(order) == 0 {
-		return nil
-	}
+	return order, byName, sc.Err()
+}
 
+// splitCPU strips the `-N` GOMAXPROCS suffix go test appends to
+// benchmark names when N != 1. A trailing all-digit token after the
+// last '-' is treated as the cpu count; anything else (including names
+// without a dash) is cpu 1 with the name unchanged.
+func splitCPU(name string) (base string, cpu int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+func writeText(w io.Writer, order []string, byName map[string]*series) error {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "medians:")
 	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
@@ -100,7 +189,103 @@ func run(r io.Reader, w io.Writer) error {
 		}
 		fmt.Fprintln(tw)
 	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return writeScaling(w, order, byName)
+}
+
+// writeScaling prints, for every base benchmark that appears at two or
+// more -cpu settings, each cpu's median next to its ratio against the
+// lowest cpu: throughput units (ending in "/s") as value/baseline,
+// ns/op as baseline/value, so >1.00x always means "faster with more
+// cores".
+func writeScaling(w io.Writer, order []string, byName map[string]*series) error {
+	groups := make(map[string][]*series)
+	var baseOrder []string
+	for _, name := range order {
+		s := byName[name]
+		if len(groups[s.base]) == 0 {
+			baseOrder = append(baseOrder, s.base)
+		}
+		groups[s.base] = append(groups[s.base], s)
+	}
+	var multi []string
+	for _, base := range baseOrder {
+		cpus := make(map[int]bool)
+		for _, s := range groups[base] {
+			cpus[s.cpu] = true
+		}
+		if len(cpus) > 1 {
+			multi = append(multi, base)
+		}
+	}
+	if len(multi) == 0 {
+		return nil
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "scaling (ratio vs lowest cpu; >1.00x is faster):")
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	for _, base := range multi {
+		ss := append([]*series(nil), groups[base]...)
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].cpu < ss[j].cpu })
+		unit := scalingUnit(ss[0])
+		baseline := median(ss[0].samples[unit])
+		fmt.Fprintf(tw, "%s\t%s", base, unit)
+		for _, s := range ss {
+			v := median(s.samples[unit])
+			ratio := 0.0
+			if baseline > 0 && v > 0 {
+				if strings.HasSuffix(unit, "/s") {
+					ratio = v / baseline
+				} else {
+					ratio = baseline / v
+				}
+			}
+			fmt.Fprintf(tw, "\tcpu=%d %s (%.2fx)", s.cpu, formatValue(v), ratio)
+		}
+		fmt.Fprintln(tw)
+	}
 	return tw.Flush()
+}
+
+// scalingUnit picks the unit the scaling table compares on: the first
+// throughput unit (ending in "/s") if the series reports one, else
+// ns/op, else the first unit.
+func scalingUnit(s *series) string {
+	for _, u := range s.units {
+		if strings.HasSuffix(u, "/s") {
+			return u
+		}
+	}
+	for _, u := range s.units {
+		if u == "ns/op" {
+			return u
+		}
+	}
+	if len(s.units) > 0 {
+		return s.units[0]
+	}
+	return ""
+}
+
+func writeJSON(w io.Writer, order []string, byName map[string]*series) error {
+	out := make([]summary, 0, len(order))
+	for _, name := range order {
+		s := byName[name]
+		medians := make(map[string]float64, len(s.units))
+		for _, unit := range s.units {
+			medians[unit] = median(s.samples[unit])
+		}
+		out = append(out, summary{
+			Name: s.name, Base: s.base, CPU: s.cpu,
+			Runs: len(s.iters), Medians: medians,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func median(vs []float64) float64 {

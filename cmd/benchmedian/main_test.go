@@ -17,7 +17,7 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // context lines, and malformed Benchmark-prefixed lines that must be
 // forwarded verbatim rather than aggregated or dropped.
 func TestRunGolden(t *testing.T) {
-	for _, name := range []string{"odd", "even", "malformed"} {
+	for _, name := range []string{"odd", "even", "malformed", "multicpu"} {
 		t.Run(name, func(t *testing.T) {
 			in, err := os.ReadFile(filepath.Join("testdata", name+".txt"))
 			if err != nil {
@@ -42,6 +42,66 @@ func TestRunGolden(t *testing.T) {
 					name, out.Bytes(), want)
 			}
 		})
+	}
+}
+
+// TestRunJSONGolden drives runFull with a JSON sink on the multi-cpu
+// fixture and compares both the text and JSON outputs to goldens: the
+// summary must carry the full name, the cpu-stripped base, the parsed
+// cpu count, the run count, and a median per unit.
+func TestRunJSONGolden(t *testing.T) {
+	in, err := os.ReadFile(filepath.Join("testdata", "multicpu.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, js bytes.Buffer
+	if err := runFull(bytes.NewReader(in), &text, &js); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "multicpu.json.golden")
+	if *update {
+		if err := os.WriteFile(golden, js.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js.Bytes(), want) {
+		t.Errorf("JSON mismatch:\n--- got ---\n%s\n--- want ---\n%s", js.Bytes(), want)
+	}
+	// The JSON sink must not perturb the text output.
+	textGolden, err := os.ReadFile(filepath.Join("testdata", "multicpu.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(text.Bytes(), textGolden) {
+		t.Errorf("text output changed when JSON sink attached:\n--- got ---\n%s", text.Bytes())
+	}
+}
+
+// TestSplitCPU pins the GOMAXPROCS-suffix heuristic: a trailing
+// all-digit token after the final dash is the cpu count, everything
+// else is cpu 1.
+func TestSplitCPU(t *testing.T) {
+	cases := []struct {
+		name string
+		base string
+		cpu  int
+	}{
+		{"BenchmarkRepair-8", "BenchmarkRepair", 8},
+		{"BenchmarkSessionAssert/C=512-4", "BenchmarkSessionAssert/C=512", 4},
+		{"BenchmarkSessionAssert/C=512", "BenchmarkSessionAssert/C=512", 1},
+		{"BenchmarkConcurrent/serving-1g", "BenchmarkConcurrent/serving-1g", 1},
+		{"BenchmarkTrailingDash-", "BenchmarkTrailingDash-", 1},
+		{"Benchmark-0", "Benchmark-0", 1},
+	}
+	for _, tc := range cases {
+		base, cpu := splitCPU(tc.name)
+		if base != tc.base || cpu != tc.cpu {
+			t.Errorf("splitCPU(%q) = (%q, %d), want (%q, %d)", tc.name, base, cpu, tc.base, tc.cpu)
+		}
 	}
 }
 

@@ -82,6 +82,9 @@ func main() {
 		exact       = flag.Bool("exact", false, "exact probabilities (small networks only)")
 		inference   = flag.String("inference", "", `per-component inference: "auto" (default), "sampled", or "exact"`)
 		exactBudget = flag.Int("exact-budget", 0, "per-component instance budget for exact inference (0 = mode default)")
+		minSamples  = flag.Int("min-samples", 0, "adaptive sampling: chunk size / budget floor (0 = fixed budget)")
+		maxSamples  = flag.Int("max-samples", 0, "adaptive sampling: per-refill emission cap (0 = fixed budget)")
+		convergence = flag.Float64("convergence", 0, "adaptive sampling: marginal-delta stop threshold in [0,1] (0 = fixed budget)")
 		resume      = flag.String("resume", "", "resume from a saved session file")
 		save        = flag.String("save", "", "save the session to this file when done")
 		storeDir    = flag.String("store", "", "durable session store directory (WAL + snapshot persistence)")
@@ -116,7 +119,10 @@ func main() {
 		fatal(fmt.Errorf("dataset has no ground truth; cannot use -oracle"))
 	}
 
-	opts := &schemanet.Options{Seed: *seed, Exact: *exact, Inference: *inference, ExactBudget: *exactBudget}
+	opts := &schemanet.Options{
+		Seed: *seed, Exact: *exact, Inference: *inference, ExactBudget: *exactBudget,
+		MinSamples: *minSamples, MaxSamples: *maxSamples, Convergence: *convergence,
+	}
 	var (
 		sess  session
 		saver *schemanet.Session // plain mode only: backs -save

@@ -27,6 +27,14 @@ import (
 //     component. Assertions on different components proceed in
 //     parallel (view maintenance, resampling, and re-ranking are all
 //     component-local); assertions on the same component serialize.
+//   - Gain re-ranking is *deferred*: a write publishes a cheap
+//     probabilities-only snapshot (probability and uncertainty reads
+//     stay fresh) and the next Suggest re-ranks just the components
+//     whose published snapshot is unranked, under their locks. A burst
+//     of assertions between suggestions pays for one re-rank instead
+//     of one per assertion, and assert-only workloads never re-rank at
+//     all. The ranking is a deterministic function of component state,
+//     so suggestions are exactly what eager re-ranking would produce.
 //   - Each component samples from its own deterministic rng stream
 //     (seeded from the session seed at construction), so a
 //     component-disjoint assertion schedule produces probabilities
@@ -46,7 +54,10 @@ type ConcurrentSession struct {
 	// ascending, then feedMu" is acyclic.
 	locks []sync.Mutex
 	// snaps[k] is component k's published snapshot; writers store a
-	// fresh snapshot after maintenance, readers only Load.
+	// fresh probs-only snapshot after maintenance, suggestion readers
+	// upgrade it to a ranked one on demand (rankComponent), and
+	// everything else only ever Loads. The Ranked flag travels on the
+	// snapshot itself, so flag and data swap in one atomic store.
 	snaps []atomic.Pointer[core.ComponentSnapshot]
 	// feedMu guards the PMN-global feedback (history + F±): recording
 	// is cheap and strictly serialized, while the expensive
@@ -188,6 +199,9 @@ func (cs *ConcurrentSession) Suggest() (c int, ok bool) {
 	snaps := make([]*core.ComponentSnapshot, len(cs.snaps))
 	for k := range cs.snaps {
 		snap := cs.snaps[k].Load()
+		if !snap.Ranked() {
+			snap = cs.rankComponent(k)
+		}
 		snaps[k] = snap
 		nUnasserted += len(snap.Unasserted())
 		compBest, g := snap.Best()
@@ -221,6 +235,22 @@ func (cs *ConcurrentSession) Suggest() (c int, ok bool) {
 	return 0, false
 }
 
+// rankComponent upgrades component k's published snapshot to a ranked
+// one under the component's lock: re-rank the (stale) gains, publish,
+// return. Double-checked — a concurrent Suggest or a write that raced
+// us may have published a ranked snapshot first, in which case the
+// re-rank is already paid and the current snapshot is returned as is.
+func (cs *ConcurrentSession) rankComponent(k int) *core.ComponentSnapshot {
+	cs.locks[k].Lock()
+	defer cs.locks[k].Unlock()
+	if snap := cs.snaps[k].Load(); snap.Ranked() {
+		return snap
+	}
+	snap := cs.pmn.SnapshotComponent(k)
+	cs.snaps[k].Store(snap)
+	return snap
+}
+
 // intn draws from the suggestion rng under its own tiny lock.
 func (cs *ConcurrentSession) intn(n int) int {
 	cs.sugMu.Lock()
@@ -230,10 +260,11 @@ func (cs *ConcurrentSession) intn(n int) int {
 
 // Assert integrates an expert statement about candidate c: the global
 // feedback record is serialized under a short lock, the expensive view
-// maintenance, resampling, and re-ranking run under the owning
-// component's lock only, and the component's fresh snapshot is
-// published before the lock is released. Assertions touching different
-// components proceed in parallel. It returns ErrUnknownCandidate
+// maintenance and resampling run under the owning component's lock
+// only, and a fresh probs-only snapshot is published before the lock
+// is released (gain re-ranking is deferred to the next Suggest; see
+// rankComponent). Assertions touching different components proceed in
+// parallel. It returns ErrUnknownCandidate
 // (wrapped) for an out-of-universe c and an error when c was already
 // asserted (no state changes).
 func (cs *ConcurrentSession) Assert(c int, correct bool) error {
@@ -250,7 +281,7 @@ func (cs *ConcurrentSession) Assert(c int, correct bool) error {
 		return err
 	}
 	cs.pmn.ApplyAssertions(k, []Assertion{{Cand: c, Approved: correct}})
-	cs.snaps[k].Store(cs.pmn.SnapshotComponent(k))
+	cs.snaps[k].Store(cs.pmn.SnapshotComponentProbs(k))
 	return nil
 }
 
@@ -260,10 +291,10 @@ func (cs *ConcurrentSession) Assert(c int, correct bool) error {
 // out-of-universe candidate rejects the whole batch with no state
 // change), then grouped by component and fanned out across a bounded
 // worker pool: each touched component is view-maintained in batch
-// order, refilled at most once, re-ranked, and republished under its
-// own lock. Components never wait for each other; per-component rng
-// streams keep the result identical to applying the same batch
-// serially.
+// order, refilled at most once, and republished (probs-only; ranking
+// deferred) under its own lock. Components never wait for each other;
+// per-component rng streams keep the result identical to applying the
+// same batch serially.
 func (cs *ConcurrentSession) AssertBatch(assertions []Assertion) error {
 	if len(assertions) == 0 {
 		return nil
@@ -328,12 +359,13 @@ func (cs *ConcurrentSession) AssertBatch(assertions []Assertion) error {
 }
 
 // applyGroup runs one component's share of a batch under its lock and
-// publishes the fresh snapshot.
+// publishes the fresh probs-only snapshot (ranking is deferred to the
+// next Suggest; see rankComponent).
 func (cs *ConcurrentSession) applyGroup(k int, as []Assertion) {
 	cs.locks[k].Lock()
 	defer cs.locks[k].Unlock()
 	cs.pmn.ApplyAssertions(k, as)
-	cs.snaps[k].Store(cs.pmn.SnapshotComponent(k))
+	cs.snaps[k].Store(cs.pmn.SnapshotComponentProbs(k))
 }
 
 // Effort returns the fraction of candidates asserted so far.

@@ -253,6 +253,48 @@ func TestConcurrentSuggestDrains(t *testing.T) {
 	}
 }
 
+// TestConcurrentDeferredRankingFreshReads: deferring the gain re-rank
+// to the next Suggest must not defer probability or uncertainty
+// freshness — Assert publishes a probs-only snapshot before returning,
+// so an asserted candidate reads 1/0 immediately with no Suggest in
+// between; and the Suggest that follows an assert-only burst, which
+// upgrades the stale components under their locks, still never hands
+// out an asserted candidate.
+func TestConcurrentDeferredRankingFreshReads(t *testing.T) {
+	d := benchMultiComponentDataset(t, 180, 4)
+	net := d.Network
+	conc, err := schemanet.NewConcurrentSession(net, &schemanet.Options{Seed: 17, Samples: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := conc.Uncertainty()
+	asserted := map[int]bool{}
+	for c := 0; c < net.NumCandidates(); c += 5 {
+		ok := d.GroundTruth.ContainsCorrespondence(net.Candidate(c))
+		if err := conc.Assert(c, ok); err != nil {
+			t.Fatal(err)
+		}
+		asserted[c] = true
+		want := 0.0
+		if ok {
+			want = 1
+		}
+		if got, err := conc.Probability(c); err != nil || got != want {
+			t.Fatalf("p(%d) = %v (err %v) immediately after Assert, want %v", c, got, err, want)
+		}
+	}
+	if h1 := conc.Uncertainty(); h1 >= h0 {
+		t.Fatalf("uncertainty %v did not drop from %v across the assert burst", h1, h0)
+	}
+	c, ok := conc.Suggest()
+	if !ok {
+		t.Fatal("Suggest found nothing after a partial burst")
+	}
+	if asserted[c] {
+		t.Fatalf("Suggest returned already-asserted candidate %d", c)
+	}
+}
+
 // TestConcurrentSingleComponent covers the trivial-partition path (one
 // lock, whole-universe snapshots) end to end.
 func TestConcurrentSingleComponent(t *testing.T) {

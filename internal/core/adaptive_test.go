@@ -1,0 +1,152 @@
+package core
+
+// White-box tests for the adaptive refill budget: resolution of the
+// Config knobs into a budgetPlan, and the survivor-reuse property —
+// deficit-aware resampling must uphold exactly the store invariants the
+// discard-and-full-refill path upholds (deduped instance set, feedback
+// consistency, refilled-or-complete), while requesting fewer emissions.
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemanet/internal/bitset"
+	"schemanet/internal/constraints"
+	"schemanet/internal/datagen"
+)
+
+func TestResolveBudget(t *testing.T) {
+	base := Config{Samples: 500}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want budgetPlan
+	}{
+		{"all-zero-legacy", base, budgetPlan{min: 500, max: 500}},
+		{"min-only", Config{Samples: 500, MinSamples: 50},
+			budgetPlan{min: 50, max: 500, conv: DefaultConvergence}},
+		{"min-above-samples", Config{Samples: 500, MinSamples: 800},
+			budgetPlan{min: 800, max: 800, conv: DefaultConvergence}},
+		{"max-only", Config{Samples: 500, MaxSamples: 2000},
+			budgetPlan{min: DefaultMinSamples, max: 2000, conv: DefaultConvergence}},
+		{"max-below-default-min", Config{Samples: 500, MaxSamples: 60},
+			budgetPlan{min: 60, max: 60, conv: DefaultConvergence}},
+		{"conv-only", Config{Samples: 500, Convergence: 0.05},
+			budgetPlan{min: DefaultMinSamples, max: 500, conv: 0.05}},
+		{"all-set", Config{Samples: 500, MinSamples: 40, MaxSamples: 900, Convergence: 0.02},
+			budgetPlan{min: 40, max: 900, conv: 0.02}},
+	} {
+		if got := resolveBudget(tc.cfg); got != tc.want {
+			t.Errorf("%s: resolveBudget = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// checkStoreInvariants verifies the §III-B view-maintenance contract on
+// component k's store: every held instance is distinct (fingerprint +
+// Equal dedup), consistent with the component's feedback (contains all
+// approved members, none of the disapproved), and the store is never
+// left in a needs-resample state after maintenance.
+func checkStoreInvariants(t *testing.T, p *PMN, k int) {
+	t.Helper()
+	cp := p.comps[k]
+	st := cp.store()
+	if st.NeedsResample() {
+		t.Fatalf("component %d left below n_min and not complete after maintenance", k)
+	}
+	seen := map[uint64][]*bitset.Set{}
+	st.ForEachInstance(func(inst *bitset.Set) bool {
+		fp := inst.Fingerprint()
+		for _, prev := range seen[fp] {
+			if prev.Equal(inst) {
+				t.Fatalf("component %d: duplicate instance in store", k)
+			}
+		}
+		seen[fp] = append(seen[fp], inst)
+		ok := true
+		cp.approved.ForEach(func(c int) bool {
+			if !inst.Has(c) {
+				ok = false
+			}
+			return ok
+		})
+		if !ok {
+			t.Fatalf("component %d: instance missing an approved candidate", k)
+		}
+		cp.disapproved.ForEach(func(c int) bool {
+			if inst.Has(c) {
+				ok = false
+			}
+			return ok
+		})
+		if !ok {
+			t.Fatalf("component %d: instance contains a disapproved candidate", k)
+		}
+		return true
+	})
+}
+
+// TestAdaptiveRefillSurvivorReuse drives the same deterministic
+// assertion schedule through a fixed-budget PMN and an adaptive one and
+// checks, after every assertion, that both uphold the identical store
+// invariants — and that the adaptive run's surviving samples really are
+// reused: every pre-assertion instance consistent with the assertion is
+// still present afterwards, and the total emissions requested are
+// strictly below the fixed budget's.
+func TestAdaptiveRefillSurvivorReuse(t *testing.T) {
+	d, err := datagen.SyntheticNetwork(datagen.MultiComp(), datagen.SyntheticOpts{
+		TargetCount: 192, Precision: 0.67, ConflictBias: 0.3, StrictCount: true,
+	}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := constraints.Default(d.Network)
+	// Pinned to sampled inference so the store pointer never swaps to an
+	// exact backend mid-run and refills stay real.
+	fixedCfg := DefaultConfig()
+	fixedCfg.Samples = 400
+	fixedCfg.Inference = InferSampled
+	adCfg := fixedCfg
+	adCfg.MinSamples = 50
+	adCfg.Convergence = 0.01
+
+	pf := MustNew(constraints.Default(d.Network), fixedCfg, rand.New(rand.NewSource(21)))
+	pa := MustNew(e, adCfg, rand.New(rand.NewSource(21)))
+
+	n := d.Network.NumCandidates()
+	for c := 0; c < n; c += 4 {
+		approve := d.GroundTruth.ContainsCorrespondence(d.Network.Candidate(c))
+		k := pa.ComponentOf(c)
+		var survivors []*bitset.Set
+		pa.ComponentStore(k).ForEachInstance(func(inst *bitset.Set) bool {
+			if inst.Has(c) == approve {
+				survivors = append(survivors, inst.Clone())
+			}
+			return true
+		})
+		if err := pf.Assert(c, approve); err != nil {
+			t.Fatal(err)
+		}
+		if err := pa.Assert(c, approve); err != nil {
+			t.Fatal(err)
+		}
+		checkStoreInvariants(t, pf, pf.ComponentOf(c))
+		checkStoreInvariants(t, pa, k)
+		st := pa.ComponentStore(k)
+		for _, sv := range survivors {
+			found := false
+			st.ForEachInstance(func(inst *bitset.Set) bool {
+				if inst.Equal(sv) {
+					found = true
+				}
+				return !found
+			})
+			if !found {
+				t.Fatalf("candidate %d: a surviving sample was discarded by the adaptive refill", c)
+			}
+		}
+	}
+	if fe, ae := pf.Emissions(), pa.Emissions(); ae >= fe {
+		t.Errorf("adaptive requested %d emissions, fixed %d — adaptive must be cheaper", ae, fe)
+	}
+}

@@ -84,8 +84,64 @@ type Inference interface {
 	// Refill re-establishes estimates after Apply requested it: the
 	// sampled backend resamples the store toward n_min (concluding
 	// completeness after two short rounds, §III-B); the exact backend's
-	// Refill is a no-op.
-	Refill()
+	// Refill is a no-op. It returns the number of walk emissions
+	// requested from the sampler (0 for exact backends), the effort unit
+	// the PMN's emission counter aggregates.
+	Refill() int
+}
+
+// DefaultMinSamples is the emission chunk size of the adaptive refill
+// loop when Config.MinSamples is unset: small enough that a
+// near-resolved component stops after a fraction of the fixed budget,
+// large enough that one chunk's marginal movement is a meaningful
+// convergence signal at the default n_min.
+const DefaultMinSamples = 100
+
+// DefaultConvergence is the adaptive stopping threshold ε when
+// Config.Convergence is unset: a refill round ends once no tracked
+// marginal moved by more than ε across one chunk.
+const DefaultConvergence = 0.01
+
+// budgetPlan is the resolved per-round refill budget of a PMN's sampled
+// components: emissions come in chunks of min (the first chunk raised
+// to the store's n_min deficit), capped at max per round, with an
+// early stop once the store's marginals move by at most conv across a
+// chunk. min == max degenerates to the legacy fixed budget — a single
+// SampleWithin(max) call per round, bit-identical rng consumption to
+// the pre-adaptive implementation.
+type budgetPlan struct {
+	min, max int
+	conv     float64
+}
+
+// resolveBudget turns Config's budget knobs into a plan. The adaptive
+// loop engages only when at least one of MinSamples/MaxSamples/
+// Convergence is set; a Config using only the legacy Samples knob keeps
+// the fixed one-chunk refill (and its exact rng stream). cfg.Samples
+// must already be defaulted (see New).
+func resolveBudget(cfg Config) budgetPlan {
+	if cfg.MinSamples == 0 && cfg.MaxSamples == 0 && cfg.Convergence == 0 {
+		return budgetPlan{min: cfg.Samples, max: cfg.Samples}
+	}
+	min := cfg.MinSamples
+	if min <= 0 {
+		min = DefaultMinSamples
+	}
+	max := cfg.MaxSamples
+	if max <= 0 {
+		max = cfg.Samples
+		if min > max {
+			max = min
+		}
+	}
+	if min > max {
+		min = max
+	}
+	conv := cfg.Convergence
+	if conv <= 0 {
+		conv = DefaultConvergence
+	}
+	return budgetPlan{min: min, max: max, conv: conv}
 }
 
 // sampledInference is the paper's sampling path (§III-B), moved behind
@@ -94,11 +150,16 @@ type Inference interface {
 type sampledInference struct {
 	sampler *sampling.Sampler
 	store   *sampling.Store
-	samples int
+	plan    budgetPlan
 	// approved/disapproved/mask are the component's feedback masks and
 	// member mask, shared with (and written by) the owning component;
 	// mask nil means the whole universe.
 	approved, disapproved, mask *bitset.Set
+	// prev/cur are marginal-vector scratch (column space, length
+	// TrackedCount) for the adaptive convergence test; nil until the
+	// first chunked round. Owned by the component like the rest of the
+	// backend state.
+	prev, cur []float64
 }
 
 func (s *sampledInference) Mode() InferenceMode    { return InferSampled }
@@ -109,16 +170,86 @@ func (s *sampledInference) Apply(c int, approve bool) bool {
 	return s.store.NeedsResample()
 }
 
-func (s *sampledInference) Refill() {
+func (s *sampledInference) Refill() int {
+	total := 0
 	for round := 0; round < 2 && s.store.NeedsResample(); round++ {
-		s.sampler.SampleWithin(s.store, s.approved, s.disapproved, s.mask, s.samples)
+		total += s.refillRound()
 	}
 	if s.store.NeedsResample() {
-		// Two consecutive samplings could not reach n_min: the actual
+		// Two consecutive rounds could not reach n_min: the actual
 		// number of matching instances is below n_min and the store
-		// holds all of them.
+		// holds all of them. The adaptive loop preserves the premise —
+		// every round's first chunk covers at least the n_min deficit,
+		// so a round that ends below n_min genuinely failed to find the
+		// missing instances rather than never asking for them.
 		s.store.MarkComplete()
 	}
+	return total
+}
+
+// refillRound emits one resampling round's walk samples and returns the
+// emissions requested. The fixed budget (plan.min == plan.max) is a
+// single SampleWithin call — bit-identical rng consumption to the
+// pre-adaptive implementation, since chunk boundaries change where the
+// walk's restart draw is skipped (SampleWithin's i > 0 guard). The
+// adaptive loop samples in chunks and stops once no tracked marginal
+// moved by more than plan.conv across a chunk; a chunk that discovered
+// no new distinct instance has delta 0 and stops likewise, which
+// subsumes cross-chunk stagnation. The stop decision is a pure function
+// of the store state and the component's rng stream, so serial
+// execution, batch replay, and concurrent component-disjoint
+// interleavings reconstruct identical stores.
+func (s *sampledInference) refillRound() int {
+	st := s.store
+	if s.plan.min >= s.plan.max {
+		s.sampler.SampleWithin(st, s.approved, s.disapproved, s.mask, s.plan.max)
+		return s.plan.max
+	}
+	if s.prev == nil {
+		s.prev = make([]float64, st.TrackedCount())
+		s.cur = make([]float64, st.TrackedCount())
+	}
+	emitted := 0
+	for emitted < s.plan.max {
+		chunk := s.plan.min
+		if emitted == 0 {
+			// Survivor reuse: instances kept by view maintenance count
+			// toward the target, so the first chunk covers only the n_min
+			// deficit (never less than one convergence-testable chunk).
+			if d := st.NMin() - st.Size(); d > chunk {
+				chunk = d
+			}
+		}
+		if rem := s.plan.max - emitted; chunk > rem {
+			chunk = rem
+		}
+		st.MarginalsInto(s.prev)
+		s.sampler.SampleWithin(st, s.approved, s.disapproved, s.mask, chunk)
+		emitted += chunk
+		if emitted >= s.plan.max {
+			break
+		}
+		st.MarginalsInto(s.cur)
+		if maxAbsDelta(s.prev, s.cur) <= s.plan.conv {
+			break
+		}
+	}
+	return emitted
+}
+
+// maxAbsDelta returns max_j |a[j] − b[j]| over equal-length vectors.
+func maxAbsDelta(a, b []float64) float64 {
+	d := 0.0
+	for i, av := range a {
+		x := av - b[i]
+		if x < 0 {
+			x = -x
+		}
+		if x > d {
+			d = x
+		}
+	}
+	return d
 }
 
 // exactInference materializes the component's instance list once
@@ -187,7 +318,7 @@ func (x *exactInference) Apply(c int, approve bool) bool {
 	return false
 }
 
-func (x *exactInference) Refill() {}
+func (x *exactInference) Refill() int { return 0 }
 
 // exactBudget resolves Config.ExactBudget: under InferAuto, zero means
 // DefaultExactBudget; under forced InferExact, zero means unlimited
@@ -266,7 +397,7 @@ func (p *PMN) newInference(k int, c *component, scfg sampling.Config, rng *rand.
 		store = sampling.NewComponentStore(len(p.probs), sampler.Config().NMin, c.members, p.localIdx)
 	}
 	return &sampledInference{
-		sampler: sampler, store: store, samples: p.cfg.Samples,
+		sampler: sampler, store: store, plan: resolveBudget(p.cfg),
 		approved: c.approved, disapproved: c.disapproved, mask: c.mask,
 	}, nil
 }

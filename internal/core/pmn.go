@@ -19,6 +19,23 @@ type Config struct {
 	// Samples is the number of walk emissions per (re)sampling round.
 	// In a decomposed PMN each component gets a full round of its own.
 	Samples int
+	// MinSamples, MaxSamples, and Convergence configure the *adaptive*
+	// refill budget: emissions come in chunks of MinSamples (the first
+	// chunk raised to the store's n_min deficit, so survivors kept by
+	// view maintenance count toward the target), capped at MaxSamples
+	// per round, stopping early once no tracked marginal moved by more
+	// than Convergence across a chunk. The loop engages when at least
+	// one of the three is set; unset members default to DefaultMinSamples,
+	// max(Samples, MinSamples), and DefaultConvergence. All three zero
+	// keeps the legacy fixed refill — one Samples-sized chunk per round,
+	// bit-identical rng consumption to the pre-adaptive implementation
+	// (as does MinSamples == MaxSamples == Samples). The stop decision
+	// is a pure function of component state and the component's rng
+	// stream, so adaptive budgets preserve replay and concurrent
+	// bit-reproducibility. See DESIGN.md, "Adaptive sampling".
+	MinSamples  int
+	MaxSamples  int
+	Convergence float64
 	// Inference selects the per-component estimation backend: InferSampled
 	// (the zero value — the paper's sampler everywhere), InferExact
 	// (exhaustive enumeration per Equation 1, maintained incrementally;
@@ -127,6 +144,7 @@ type PMN struct {
 	probs     []float64
 	maxComp   int          // size of the largest component (scratch sizing)
 	resamples atomic.Int64 // post-construction refill rounds (observability)
+	emissions atomic.Int64 // walk emissions requested, incl. initial fill
 
 	// gains caches IG(c) per candidate. Information gain is
 	// component-local (see InformationGain), so an assertion staleness-
@@ -231,7 +249,8 @@ func New(engine *constraints.Engine, cfg Config, rng *rand.Rand) (*PMN, error) {
 			return nil, err
 		}
 		c.inf = inf
-		c.inf.Refill() // initial fill; no-op for exact components
+		// Initial fill; no-op for exact components.
+		p.emissions.Add(int64(c.inf.Refill()))
 		p.recomputeComp(k)
 	}
 	return p, nil
@@ -323,6 +342,13 @@ func (p *PMN) InvalidateGains() {
 // atomic so concurrent component maintenance can bump it without a
 // lock.
 func (p *PMN) Resamples() int { return int(p.resamples.Load()) }
+
+// Emissions returns the total number of walk emissions requested from
+// the samplers, including the initial fill — the sampling-effort unit
+// the adaptive budget (Config.MinSamples et al.) economizes. A round
+// the sampler ends early on stagnation still counts its requested
+// emissions. Atomic for the same reason as Resamples.
+func (p *PMN) Emissions() int { return int(p.emissions.Load()) }
 
 // LocalIndex returns candidate c's column index inside its component's
 // store and snapshots (the identity when the PMN is a single
@@ -436,7 +462,7 @@ func (p *PMN) ApplyAssertions(k int, as []Assertion) {
 	// "zero sampling resamples in the exact tail" property.
 	p.maybePromote(k)
 	if needRefill && cp.inf.Mode() != InferExact {
-		cp.inf.Refill()
+		p.emissions.Add(int64(cp.inf.Refill()))
 		p.resamples.Add(1)
 	}
 	p.recomputeComp(k)

@@ -26,6 +26,13 @@ type ComponentSnapshot struct {
 	// the fallback pool once no uncertain candidate remains anywhere
 	// (mirrors InfoGainStrategy's degradation to random).
 	unasserted []int
+	// ranked records whether best/bestGain were computed from a fresh
+	// gain ranking (SnapshotComponent) or skipped entirely
+	// (SnapshotComponentProbs). Carrying the flag on the snapshot makes
+	// flag and data change hands in one atomic pointer swap — a
+	// publisher cannot expose a probs-only snapshot that readers mistake
+	// for a ranked one.
+	ranked bool
 }
 
 // Entropy returns the component's cached uncertainty term H_k.
@@ -43,6 +50,11 @@ func (s *ComponentSnapshot) Best() ([]int, float64) { return s.best, s.bestGain 
 // candidate ids, ascending). The slice must not be mutated.
 func (s *ComponentSnapshot) Unasserted() []int { return s.unasserted }
 
+// Ranked reports whether the snapshot carries a valid gain ranking
+// (Best is meaningful). Probs-only snapshots report false; suggestion
+// readers must re-rank before consuming Best.
+func (s *ComponentSnapshot) Ranked() bool { return s.ranked }
+
 // SnapshotComponent builds a fresh immutable snapshot of component k,
 // re-ranking the component's information gains first if they are stale.
 // Like ApplyAssertions, it reads only component-local state (plus the
@@ -51,14 +63,32 @@ func (s *ComponentSnapshot) Unasserted() []int { return s.unasserted }
 // component must be serialized with that component's maintenance.
 func (p *PMN) SnapshotComponent(k int) *ComponentSnapshot {
 	p.EnsureComponentGains(k)
+	return p.snapshot(k, true)
+}
+
+// SnapshotComponentProbs builds a probabilities/entropy/unasserted-only
+// snapshot of component k, skipping the gain re-rank entirely — the
+// cheap publication a write path uses to keep probability and
+// uncertainty reads fresh while deferring ranking work to the next
+// suggestion (see ConcurrentSession). Its Best reports an empty tie
+// set and Ranked reports false. Serialization requirements are those
+// of SnapshotComponent.
+func (p *PMN) SnapshotComponentProbs(k int) *ComponentSnapshot {
+	return p.snapshot(k, false)
+}
+
+func (p *PMN) snapshot(k int, withGains bool) *ComponentSnapshot {
 	cp := p.comps[k]
-	snap := &ComponentSnapshot{entropy: cp.entropy, bestGain: -1}
+	snap := &ComponentSnapshot{entropy: cp.entropy, bestGain: -1, ranked: withGains}
 	collect := func(j, c int) {
 		snap.probs[j] = p.probs[c]
 		if cp.isAsserted(c) {
 			return
 		}
 		snap.unasserted = append(snap.unasserted, c)
+		if !withGains {
+			return
+		}
 		if pc := p.probs[c]; pc > 0 && pc < 1 {
 			switch g := p.gains[c]; {
 			case g > snap.bestGain:

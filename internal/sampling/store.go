@@ -355,6 +355,23 @@ func (st *Store) ProbabilitiesInto(out []float64) {
 	}
 }
 
+// MarginalsInto writes the per-column marginal estimates —
+// counts[j]/Size(), column-indexed (see GlobalID) — into out, which
+// must have length TrackedCount. An empty store writes zeros. Unlike
+// ProbabilitiesInto this is dense in *column* space, so two snapshots
+// taken around a sampling chunk are directly comparable; the adaptive
+// refill loop uses consecutive vectors to test marginal convergence.
+func (st *Store) MarginalsInto(out []float64) {
+	n := len(st.instances)
+	for j := 0; j < st.m; j++ {
+		if n == 0 {
+			out[j] = 0
+		} else {
+			out[j] = float64(st.counts[j]) / float64(n)
+		}
+	}
+}
+
 // SmoothedProbabilities returns add-half (Krichevsky–Trofimov) smoothed
 // estimates, (count + ½) / (size + 1), for the whole universe
 // (untracked candidates smooth from count 0). Finite sampling saturates

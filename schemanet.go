@@ -138,6 +138,30 @@ type Options struct {
 	DisableOneToOne bool
 	// Samples per (re)sampling round (default 500).
 	Samples int
+	// MinSamples, MaxSamples, and Convergence enable the *adaptive*
+	// refill budget: instead of one fixed Samples-sized refill per
+	// touched component, emissions come in chunks of MinSamples (the
+	// first chunk sized to the store's n_min deficit, so samples that
+	// survived view maintenance count toward the target), capped at
+	// MaxSamples per round, stopping as soon as no marginal probability
+	// of the component moved by more than Convergence across a chunk —
+	// small or near-resolved components stop early, hubs keep their
+	// budget. Setting any one of the three enables the loop; the others
+	// default (MinSamples 100, MaxSamples max(Samples, MinSamples),
+	// Convergence 0.01). All three zero keeps the fixed budget, whose
+	// sampling streams are bit-identical to previous releases. The
+	// adaptive stop is a pure function of component state and the
+	// component's rng stream, so determinism under Seed — including
+	// serial/concurrent equality on component-disjoint schedules — is
+	// unchanged. MinSamples > MaxSamples (both set) is rejected;
+	// Convergence must lie in [0,1]. See DESIGN.md, "Adaptive sampling
+	// and sample reuse".
+	MinSamples int
+	// MaxSamples caps total emissions per adaptive refill round; see
+	// MinSamples.
+	MaxSamples int
+	// Convergence is the adaptive early-stop threshold ε; see MinSamples.
+	Convergence float64
 	// StagnationLimit ends a component's sampling round early after this
 	// many consecutive emissions that discovered no new distinct
 	// instance. 0 selects a component-scaled default; negative values
@@ -235,6 +259,8 @@ func (o *Options) validate() error {
 	}{
 		{"MaxCycleLen", o.MaxCycleLen},
 		{"Samples", o.Samples},
+		{"MinSamples", o.MinSamples},
+		{"MaxSamples", o.MaxSamples},
 		{"StagnationLimit", o.StagnationLimit},
 		{"InstantiateIterations", o.InstantiateIterations},
 		{"Workers", o.Workers},
@@ -243,6 +269,14 @@ func (o *Options) validate() error {
 		if f.v < 0 {
 			return fmt.Errorf("schemanet: Options.%s must be non-negative, got %d", f.name, f.v)
 		}
+	}
+	// NaN fails the interval test too (comparisons with NaN are false).
+	if !(o.Convergence >= 0 && o.Convergence <= 1) {
+		return fmt.Errorf("schemanet: Options.Convergence must be in [0,1], got %v", o.Convergence)
+	}
+	if o.MaxSamples > 0 && o.MinSamples > o.MaxSamples {
+		return fmt.Errorf("schemanet: Options.MinSamples (%d) must not exceed Options.MaxSamples (%d)",
+			o.MinSamples, o.MaxSamples)
 	}
 	return nil
 }
@@ -375,6 +409,9 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 	if o.Samples > 0 {
 		cfg.Samples = o.Samples
 	}
+	cfg.MinSamples = o.MinSamples
+	cfg.MaxSamples = o.MaxSamples
+	cfg.Convergence = o.Convergence
 	if o.StagnationLimit > 0 {
 		cfg.Sampler.StagnationLimit = o.StagnationLimit
 	}
@@ -437,6 +474,13 @@ func (s *Session) Probability(c int) (float64, error) {
 
 // Uncertainty returns the network uncertainty H(C, P) (Equation 3).
 func (s *Session) Uncertainty() float64 { return s.pmn.Entropy() }
+
+// SamplingEmissions returns the total number of random-walk emissions
+// requested from the samplers so far, including the initial fill — the
+// sampling-effort unit the adaptive budget (Options.MinSamples,
+// MaxSamples, Convergence) economizes. Exact components contribute
+// nothing. Use it to compare the cost of budget configurations.
+func (s *Session) SamplingEmissions() int { return s.pmn.Emissions() }
 
 // Effort returns the fraction of candidates asserted so far.
 func (s *Session) Effort() float64 { return s.pmn.Feedback().Effort() }
