@@ -48,6 +48,9 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentAssertMultiComp/C=512' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
 	# Adaptive-vs-fixed refill budgets on the multicomp assert schedule.
 	$(GO) test -run '^$$' -bench 'BenchmarkSessionAssertBudget' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
+	# Incremental topology cost: one late schema / one component-merging
+	# candidate batch on a live session vs recompiling the world.
+	$(GO) test -run '^$$' -bench 'BenchmarkAddSchema|BenchmarkAddCandidatesMerge' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
 
 # Multi-core throughput rig: the Throughput benchmarks at each GOMAXPROCS
 # in BENCHCPUS, reported as medians plus a scaling table (ratio vs the
@@ -63,9 +66,13 @@ examples:
 	@set -e; for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" > /dev/null; done; echo "examples OK"
 
 # Native-fuzz smoke over the two decoders that consume externally
-# produced bytes: the session_io decoder (LoadSession) and the WAL
-# recovery scan (arbitrary crash-damaged log images). FUZZTIME per
-# target; crashes land in testdata/fuzz/ as regression cases.
+# produced bytes — the session_io decoder (LoadSession) and the WAL
+# recovery scan (arbitrary crash-damaged log images) — plus the
+# dynamic-topology differential: random AddSchema/AddCandidates/
+# RetireCandidate/Assert interleavings checked bit-for-bit against
+# from-scratch construction. FUZZTIME per target; crashes land in
+# testdata/fuzz/ as regression cases.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoadSession -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzWALRecover -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzIncrementalBuild -fuzztime $(FUZZTIME) .

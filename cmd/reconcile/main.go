@@ -14,6 +14,21 @@
 //
 //	reconcile -in bp.json -interactive -store ./sessions -session bp -annotator alice
 //
+// With -grow, a growth file is injected halfway through the budget:
+// its schemas, candidates, and retirements are applied to the live
+// session without rebuilding, exercising the incremental topology path
+// (see DESIGN.md, "Dynamic networks"):
+//
+//	reconcile -in bp.json -oracle -budget 30 -grow extra.json
+//
+// The growth file is JSON:
+//
+//	{
+//	  "schemas":    [{"name": "s4", "attrs": ["id", "title"]}],
+//	  "candidates": [{"from": "s4.id", "to": "s1.isbn", "conf": 0.8}],
+//	  "retire":     [{"from": "s1.isbn", "to": "s2.code"}]
+//	}
+//
 // After the budget is exhausted the tool instantiates a trusted
 // matching and prints it together with quality statistics (when ground
 // truth is available).
@@ -21,6 +36,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +55,10 @@ type session interface {
 	Uncertainty() (float64, error)
 	Violations() (int, error)
 	Instantiate() (*schemanet.Matching, error)
+	Network() *schemanet.Network
+	AddSchema(name string, attrs ...string) error
+	AddCandidates(cs []schemanet.Correspondence) error
+	RetireCandidate(c int) error
 }
 
 // plain adapts *schemanet.Session to the session interface.
@@ -53,6 +73,14 @@ func (p plain) Violations() (int, error)      { return p.s.Violations(), nil }
 func (p plain) Instantiate() (*schemanet.Matching, error) {
 	return p.s.Instantiate(), nil
 }
+func (p plain) Network() *schemanet.Network { return p.s.Network() }
+func (p plain) AddSchema(name string, attrs ...string) error {
+	return p.s.AddSchema(name, attrs...)
+}
+func (p plain) AddCandidates(cs []schemanet.Correspondence) error {
+	return p.s.AddCandidates(cs)
+}
+func (p plain) RetireCandidate(c int) error { return p.s.RetireCandidate(c) }
 
 // durable adapts *schemanet.DurableSession, attributing every
 // assertion to the -annotator id.
@@ -69,6 +97,100 @@ func (d durable) Uncertainty() (float64, error) { return d.ds.Uncertainty() }
 func (d durable) Violations() (int, error)      { return d.ds.Violations() }
 func (d durable) Instantiate() (*schemanet.Matching, error) {
 	return d.ds.Instantiate()
+}
+func (d durable) Network() *schemanet.Network { return d.ds.Network() }
+func (d durable) AddSchema(name string, attrs ...string) error {
+	return d.ds.AddSchema(name, attrs...)
+}
+func (d durable) AddCandidates(cs []schemanet.Correspondence) error {
+	return d.ds.AddCandidates(cs)
+}
+func (d durable) RetireCandidate(c int) error { return d.ds.RetireCandidate(c) }
+
+// growthFile is the -grow payload: schemas to register, candidates to
+// append (by full attribute name), and candidates to retire.
+type growthFile struct {
+	Schemas []struct {
+		Name  string   `json:"name"`
+		Attrs []string `json:"attrs"`
+	} `json:"schemas"`
+	Candidates []struct {
+		From string  `json:"from"`
+		To   string  `json:"to"`
+		Conf float64 `json:"conf"`
+	} `json:"candidates"`
+	Retire []struct {
+		From string `json:"from"`
+		To   string `json:"to"`
+	} `json:"retire"`
+}
+
+// applyGrowth applies a growth file to the live session: schemas first
+// (so candidate names referencing them resolve), then candidates, then
+// retirements. Names resolve against the session's current network.
+func applyGrowth(sess session, g growthFile) error {
+	for _, sc := range g.Schemas {
+		if err := sess.AddSchema(sc.Name, sc.Attrs...); err != nil {
+			return err
+		}
+	}
+	attrByName := func() map[string]schemanet.AttrID {
+		net := sess.Network()
+		idx := make(map[string]schemanet.AttrID, net.NumAttributes())
+		for _, sch := range net.Schemas() {
+			for _, a := range sch.Attrs {
+				idx[net.FullName(a)] = a
+			}
+		}
+		return idx
+	}
+	resolve := func(idx map[string]schemanet.AttrID, name string) (schemanet.AttrID, error) {
+		a, ok := idx[name]
+		if !ok {
+			return 0, fmt.Errorf("grow: unknown attribute %q", name)
+		}
+		return a, nil
+	}
+	if len(g.Candidates) > 0 {
+		idx := attrByName()
+		cs := make([]schemanet.Correspondence, len(g.Candidates))
+		for i, c := range g.Candidates {
+			a, err := resolve(idx, c.From)
+			if err != nil {
+				return err
+			}
+			b, err := resolve(idx, c.To)
+			if err != nil {
+				return err
+			}
+			cs[i] = schemanet.Correspondence{A: a, B: b, Confidence: c.Conf}
+		}
+		if err := sess.AddCandidates(cs); err != nil {
+			return err
+		}
+	}
+	if len(g.Retire) > 0 {
+		idx := attrByName()
+		net := sess.Network()
+		for _, r := range g.Retire {
+			a, err := resolve(idx, r.From)
+			if err != nil {
+				return err
+			}
+			b, err := resolve(idx, r.To)
+			if err != nil {
+				return err
+			}
+			c := net.CandidateIndex(a, b)
+			if c < 0 {
+				return fmt.Errorf("grow: no candidate %s ↔ %s to retire", r.From, r.To)
+			}
+			if err := sess.RetireCandidate(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func main() {
@@ -91,6 +213,7 @@ func main() {
 		sessName    = flag.String("session", "", `session name inside -store (default "default")`)
 		annotator   = flag.String("annotator", "", "annotator id recorded with each assertion (-store mode)")
 		syncPolicy  = flag.String("sync", "", `WAL sync policy for -store: "always", "batch" (default), or "none"`)
+		growFile    = flag.String("grow", "", "JSON growth file injected halfway through the budget")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -117,6 +240,18 @@ func main() {
 	}
 	if *useOracle && d.GroundTruth == nil {
 		fatal(fmt.Errorf("dataset has no ground truth; cannot use -oracle"))
+	}
+
+	var growth *growthFile
+	if *growFile != "" {
+		gf, err := os.ReadFile(*growFile)
+		if err != nil {
+			fatal(err)
+		}
+		growth = new(growthFile)
+		if err := json.Unmarshal(gf, growth); err != nil {
+			fatal(fmt.Errorf("grow file %s: %w", *growFile, err))
+		}
 	}
 
 	opts := &schemanet.Options{
@@ -172,7 +307,7 @@ func main() {
 		sess, saver = plain{s}, s
 	}
 
-	n := d.Network.NumCandidates()
+	n := sess.Network().NumCandidates() // resumed stores may have grown
 	k := *budget
 	if k <= 0 {
 		k = int(*effort * float64(n))
@@ -182,7 +317,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("network: %d schemas, %d candidates, %d constraint violations\n",
-		d.Network.NumSchemas(), n, violations)
+		sess.Network().NumSchemas(), n, violations)
 	h, err := sess.Uncertainty()
 	if err != nil {
 		fatal(err)
@@ -191,13 +326,25 @@ func main() {
 
 	stdin := bufio.NewScanner(os.Stdin)
 	for i := 0; i < k; i++ {
+		if growth != nil && i == k/2 {
+			if err := applyGrowth(sess, *growth); err != nil {
+				fatal(err)
+			}
+			growth = nil
+			net := sess.Network()
+			fmt.Printf("grew network: now %d schemas, %d candidates (%d retired)\n",
+				net.NumSchemas(), net.NumCandidates(), net.NumRetired())
+		}
 		c, ok := sess.Suggest()
 		if !ok {
 			break
 		}
 		var correct bool
 		if *useOracle {
-			correct = d.GroundTruth.ContainsCorrespondence(d.Network.Candidate(c))
+			// The session network, not d.Network: -grow may have appended
+			// candidates the base network has never heard of (the ground
+			// truth simply doesn't contain those, so the oracle says no).
+			correct = d.GroundTruth.ContainsCorrespondence(sess.Network().Candidate(c))
 		} else {
 			fmt.Printf("[%d/%d] correct? %s  (y/n) ", i+1, k, sess.Describe(c))
 			if !stdin.Scan() {
@@ -223,6 +370,12 @@ func main() {
 		fmt.Printf("session saved to %s\n", *save)
 	}
 
+	if growth != nil { // budget too small to hit the midpoint
+		if err := applyGrowth(sess, *growth); err != nil {
+			fatal(err)
+		}
+	}
+
 	spent, err := sess.Effort()
 	if err != nil {
 		fatal(err)
@@ -243,12 +396,13 @@ func main() {
 		rec := float64(inter) / float64(max(d.GroundTruth.Size(), 1))
 		fmt.Printf("precision %.3f, recall %.3f vs ground truth\n", prec, rec)
 	}
+	net := sess.Network() // may have grown past d.Network via -grow
 	for i, p := range trusted.Pairs() {
 		if i >= 20 {
 			fmt.Printf("… and %d more\n", trusted.Size()-20)
 			break
 		}
-		fmt.Printf("  %s ↔ %s\n", d.Network.FullName(p[0]), d.Network.FullName(p[1]))
+		fmt.Printf("  %s ↔ %s\n", net.FullName(p[0]), net.FullName(p[1]))
 	}
 }
 

@@ -47,6 +47,18 @@ type ConcurrentSession struct {
 	s   *Session
 	pmn *core.PMN
 
+	// topoMu guards the component universe itself: every public method
+	// holds the read side (the network, the partition, and the locks /
+	// snaps slices below are all stable while any reader is in flight),
+	// and the topology mutators — AddSchema, AddCandidates,
+	// RetireCandidate — take the write side, excluding every other
+	// operation while components merge or split and the per-component
+	// lock and snapshot tables are rebuilt. Go's RWMutex is
+	// writer-preferring, so a steady read load cannot starve arrivals.
+	// Lock order: topoMu, then batchMu, then component locks ascending,
+	// then feedMu.
+	topoMu sync.RWMutex
+
 	// locks[k] serializes all maintenance of component k. Multi-lock
 	// paths (Instantiate, Save) acquire in ascending component order;
 	// feedMu is only ever taken while holding at most the locks already
@@ -121,17 +133,28 @@ func NewConcurrentSession(net *Network, opts *Options) (*ConcurrentSession, erro
 	return s.Concurrent(), nil
 }
 
-// Network returns the session's network.
-func (cs *ConcurrentSession) Network() *Network { return cs.pmn.Network() }
+// Network returns the session's network. Topology mutators grow it in
+// place, so hold any returned sub-structures only briefly.
+func (cs *ConcurrentSession) Network() *Network {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
+	return cs.pmn.Network()
+}
 
 // Components returns how many constraint-connected components the
 // network decomposes into — the session's maximal write parallelism.
-func (cs *ConcurrentSession) Components() int { return cs.pmn.NumComponents() }
+func (cs *ConcurrentSession) Components() int {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
+	return cs.pmn.NumComponents()
+}
 
-// ComponentOf returns the component candidate c belongs to. The
-// partition is immutable, so the lookup takes no lock. It returns
+// ComponentOf returns the component candidate c belongs to under the
+// current topology (mutators can merge or split components). It returns
 // ErrUnknownCandidate (wrapped) for an out-of-universe c.
 func (cs *ConcurrentSession) ComponentOf(c int) (int, error) {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	return cs.s.ComponentOf(c)
 }
 
@@ -140,6 +163,8 @@ func (cs *ConcurrentSession) ComponentOf(c int) (int, error) {
 // is mutable state — an "auto" component promotes to exact under its
 // maintenance lock — so the read briefly takes that lock.
 func (cs *ConcurrentSession) InferenceOf(k int) (InferenceMode, error) {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	if k < 0 || k >= cs.pmn.NumComponents() {
 		return 0, fmt.Errorf("schemanet: component index %d outside [0,%d)", k, cs.pmn.NumComponents())
 	}
@@ -152,13 +177,17 @@ func (cs *ConcurrentSession) InferenceOf(k int) (InferenceMode, error) {
 // matcher confidence; a placeholder for an out-of-universe c, as on
 // Session.
 func (cs *ConcurrentSession) Describe(c int) string {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	return cs.s.Describe(c)
 }
 
 // Violations returns the number of distinct constraint violations among
-// the raw candidate correspondences. It reads only immutable compiled
-// constraint state and takes no lock.
+// the raw candidate correspondences (live only: retired candidates sit
+// on no violation).
 func (cs *ConcurrentSession) Violations() int {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	return cs.s.engine.ViolationCount(cs.s.engine.FullInstance())
 }
 
@@ -166,6 +195,8 @@ func (cs *ConcurrentSession) Violations() int {
 // owning component's published snapshot, without blocking on writers.
 // It returns ErrUnknownCandidate (wrapped) for an out-of-universe c.
 func (cs *ConcurrentSession) Probability(c int) (float64, error) {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	if err := cs.s.checkCandidate(c); err != nil {
 		return 0, err
 	}
@@ -178,6 +209,8 @@ func (cs *ConcurrentSession) Probability(c int) (float64, error) {
 // internally consistent; the sum reflects each component's most
 // recently published state rather than one global instant.
 func (cs *ConcurrentSession) Uncertainty() float64 {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	h := 0.0
 	for k := range cs.snaps {
 		h += cs.snaps[k].Load().Entropy()
@@ -193,6 +226,8 @@ func (cs *ConcurrentSession) Uncertainty() float64 {
 // random among the unasserted rest. ok is false when every candidate
 // has been asserted.
 func (cs *ConcurrentSession) Suggest() (c int, ok bool) {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	best := -1.0
 	var ties []int
 	nUnasserted := 0
@@ -268,6 +303,8 @@ func (cs *ConcurrentSession) intn(n int) int {
 // (wrapped) for an out-of-universe c and an error when c was already
 // asserted (no state changes).
 func (cs *ConcurrentSession) Assert(c int, correct bool) error {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	if err := cs.s.checkCandidate(c); err != nil {
 		return err
 	}
@@ -299,6 +336,8 @@ func (cs *ConcurrentSession) AssertBatch(assertions []Assertion) error {
 	if len(assertions) == 0 {
 		return nil
 	}
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	for i, a := range assertions {
 		if err := cs.s.checkCandidate(a.Cand); err != nil {
 			return fmt.Errorf("assertion %d: %w", i, err)
@@ -370,6 +409,8 @@ func (cs *ConcurrentSession) applyGroup(k int, as []Assertion) {
 
 // Effort returns the fraction of candidates asserted so far.
 func (cs *ConcurrentSession) Effort() float64 {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	cs.feedMu.Lock()
 	defer cs.feedMu.Unlock()
 	return cs.pmn.Feedback().Effort()
@@ -394,11 +435,82 @@ func (cs *ConcurrentSession) unlockAll() {
 	cs.batchMu.Unlock()
 }
 
+// AddSchema registers a new schema on the live concurrent session (see
+// Session.AddSchema). The mutation takes the topology write lock —
+// total exclusion against every reader and writer — and rebuilds the
+// per-component lock and snapshot tables before readers resume.
+func (cs *ConcurrentSession) AddSchema(name string, attrs ...string) error {
+	cs.topoMu.Lock()
+	defer cs.topoMu.Unlock()
+	carried, err := cs.s.addSchema(name, attrs)
+	if err != nil {
+		return err
+	}
+	cs.rebuildTables(carried)
+	return nil
+}
+
+// AddCandidates appends candidate correspondences to the live
+// concurrent session (see Session.AddCandidates). Components bridged by
+// a new candidate merge; the merged components' snapshots are
+// republished while every untouched component keeps its published
+// snapshot — readers of other components observe no change at all.
+func (cs *ConcurrentSession) AddCandidates(correspondences []Correspondence) error {
+	cs.topoMu.Lock()
+	defer cs.topoMu.Unlock()
+	carried, err := cs.s.addCandidates(correspondences)
+	if err != nil {
+		return err
+	}
+	cs.rebuildTables(carried)
+	return nil
+}
+
+// RetireCandidate withdraws candidate c from the live concurrent
+// session (see Session.RetireCandidate). Only the split parts of the
+// retiree's component republish; every other component keeps its
+// published snapshot.
+func (cs *ConcurrentSession) RetireCandidate(c int) error {
+	cs.topoMu.Lock()
+	defer cs.topoMu.Unlock()
+	carried, err := cs.s.retireCandidate(c)
+	if err != nil {
+		return err
+	}
+	cs.rebuildTables(carried)
+	return nil
+}
+
+// rebuildTables re-sizes the per-component lock and snapshot tables
+// after a topology mutation, under the topology write lock (no reader
+// or writer is in flight). Components carried verbatim by the
+// underlying relayout keep their published snapshot pointer — members,
+// probabilities, entropy, and ranking are all unchanged, including the
+// Ranked flag, so a previously ranked component stays ranked. Rebuilt
+// components publish a probs-only snapshot; ranking is deferred to the
+// next Suggest as everywhere else.
+func (cs *ConcurrentSession) rebuildTables(carried map[int]int) {
+	nk := cs.pmn.NumComponents()
+	old := cs.snaps
+	snaps := make([]atomic.Pointer[core.ComponentSnapshot], nk)
+	for k := 0; k < nk; k++ {
+		if k0, ok := carried[k]; ok {
+			snaps[k].Store(old[k0].Load())
+		} else {
+			snaps[k].Store(cs.pmn.SnapshotComponentProbs(k))
+		}
+	}
+	cs.locks = make([]sync.Mutex, nk)
+	cs.snaps = snaps
+}
+
 // Instantiate derives a trusted matching from the current state (§V,
 // Algorithm 2). The local search reads every component's samples and
 // the full feedback, so it briefly takes exclusive access — assertions
 // issued meanwhile block until it finishes.
 func (cs *ConcurrentSession) Instantiate() *Matching {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	cs.lockAll()
 	defer cs.unlockAll()
 	return cs.s.Instantiate()
@@ -408,6 +520,8 @@ func (cs *ConcurrentSession) Instantiate() *Matching {
 // (see LoadSession); concurrent assertions are excluded from the saved
 // history, not torn.
 func (cs *ConcurrentSession) Save(w io.Writer) error {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
 	cs.lockAll()
 	defer cs.unlockAll()
 	return cs.s.Save(w)

@@ -1,0 +1,186 @@
+package schemanet
+
+import (
+	"errors"
+	"fmt"
+
+	"schemanet/internal/core"
+)
+
+// Dynamic networks: a live session accepts new schemas, new candidate
+// correspondences, and candidate withdrawals without rebuilding. Each
+// mutation flows through every layer incrementally — the session's
+// private network grows in place, the compiled conflict index appends
+// rows for the new candidates only, the component partition merges (or
+// conservatively re-partitions on retire), and the probabilistic
+// network carries every untouched component's samples, probabilities,
+// and cached gains verbatim. See DESIGN.md, "Dynamic networks".
+
+// ErrCandidateRetired reports an operation against a candidate that was
+// withdrawn through RetireCandidate: retired candidates keep their
+// index but have probability 0, are never suggested, and accept no
+// feedback.
+var ErrCandidateRetired = core.ErrCandidateRetired
+
+// topoKind discriminates the entries of the session's topology log.
+type topoKind int
+
+const (
+	topoAddSchema topoKind = iota + 1
+	topoAddCandidates
+	topoRetire
+)
+
+// savedCand is one appended candidate in name form (full attribute
+// names survive serialization and replay; indices do not).
+type savedCand struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Conf float64 `json:"conf"`
+}
+
+// topoOp is one topology mutation, positioned relative to the
+// assertion history (at = number of assertions recorded before the op).
+type topoOp struct {
+	kind   topoKind
+	at     int
+	schema string   // add-schema
+	attrs  []string // add-schema
+	cands  []savedCand
+	from   string // retire
+	to     string // retire
+}
+
+// topoAllowed gates the topology mutators: both debugging switches
+// disable the component machinery incremental maintenance rides on.
+func (s *Session) topoAllowed() error {
+	if s.monolithic {
+		return errors.New("schemanet: topology changes are not supported under Options.Monolithic")
+	}
+	if s.interpreted {
+		return errors.New("schemanet: topology changes are not supported under Options.InterpretedConstraints")
+	}
+	return nil
+}
+
+// AddSchema registers a new schema on the live session. The schema is
+// auto-connected to every existing schema in the interaction graph; it
+// arrives without candidates (follow with AddCandidates), so no
+// probability changes — the constraint engine just refreshes its cycle
+// plans for the new interaction edges.
+func (s *Session) AddSchema(name string, attrs ...string) error {
+	_, err := s.addSchema(name, attrs)
+	return err
+}
+
+func (s *Session) addSchema(name string, attrs []string) (map[int]int, error) {
+	if err := s.topoAllowed(); err != nil {
+		return nil, err
+	}
+	net := s.Network()
+	oldN := net.NumCandidates()
+	if _, err := net.AppendSchema(name, attrs...); err != nil {
+		return nil, fmt.Errorf("schemanet: %w", err)
+	}
+	s.engine.Grow(oldN)
+	carried, err := s.pmn.TopologyChanged(oldN, -1)
+	if err != nil {
+		return nil, fmt.Errorf("schemanet: %w", err)
+	}
+	s.topoOps = append(s.topoOps, topoOp{
+		kind: topoAddSchema, at: s.pmn.Feedback().Count(),
+		schema: name, attrs: append([]string(nil), attrs...),
+	})
+	return carried, nil
+}
+
+// AddCandidates appends candidate correspondences to the live session
+// (AttrIDs are those of the session's current network — base attributes
+// keep their IDs, attributes added by AddSchema follow in append
+// order). Components bridged by a new candidate merge; merged sampled
+// components are re-seeded from their predecessors' surviving samples
+// and only the sample deficit is re-drawn, while every untouched
+// component keeps its samples, probabilities, and cached ranking
+// verbatim.
+//
+// The differential guarantee: any interleaving of AddSchema /
+// AddCandidates / RetireCandidate / Assert yields the same component
+// partition and inference modes as building the final network from
+// scratch and replaying the same assertions — and bit-identical
+// probabilities wherever exact inference serves the component.
+func (s *Session) AddCandidates(cs []Correspondence) error {
+	_, err := s.addCandidates(cs)
+	return err
+}
+
+func (s *Session) addCandidates(cs []Correspondence) (map[int]int, error) {
+	if err := s.topoAllowed(); err != nil {
+		return nil, err
+	}
+	if len(cs) == 0 {
+		return nil, errors.New("schemanet: AddCandidates requires at least one correspondence")
+	}
+	net := s.Network()
+	oldN := net.NumCandidates()
+	if _, err := net.AppendCandidates(cs); err != nil {
+		return nil, fmt.Errorf("schemanet: %w", err)
+	}
+	s.engine.Grow(oldN)
+	carried, err := s.pmn.TopologyChanged(oldN, -1)
+	if err != nil {
+		return nil, fmt.Errorf("schemanet: %w", err)
+	}
+	saved := make([]savedCand, len(cs))
+	for i, c := range cs {
+		cc := c.Canonical()
+		saved[i] = savedCand{From: net.FullName(cc.A), To: net.FullName(cc.B), Conf: cc.Confidence}
+	}
+	s.topoOps = append(s.topoOps, topoOp{
+		kind: topoAddCandidates, at: s.pmn.Feedback().Count(), cands: saved,
+	})
+	return carried, nil
+}
+
+// RetireCandidate withdraws candidate c from the live session (e.g. a
+// matcher recall revoked a correspondence). The candidate keeps its
+// index but drops to probability 0, leaves every conflict row and cycle
+// plan, is never suggested again, and rejects assertions with
+// ErrCandidateRetired. Its component is conservatively re-partitioned —
+// a retire can split a component — and the split parts are rebuilt from
+// the survivors' samples. An already-asserted candidate cannot be
+// retired (assertions are correct and final).
+func (s *Session) RetireCandidate(c int) error {
+	_, err := s.retireCandidate(c)
+	return err
+}
+
+func (s *Session) retireCandidate(c int) (map[int]int, error) {
+	if err := s.topoAllowed(); err != nil {
+		return nil, err
+	}
+	if err := s.checkCandidate(c); err != nil {
+		return nil, err
+	}
+	net := s.Network()
+	if net.Retired(c) {
+		return nil, fmt.Errorf("schemanet: candidate %d: %w", c, ErrCandidateRetired)
+	}
+	if s.pmn.Feedback().IsAsserted(c) {
+		return nil, fmt.Errorf("schemanet: candidate %d: cannot retire an asserted candidate", c)
+	}
+	cand := net.Candidate(c)
+	from, to := net.FullName(cand.A), net.FullName(cand.B)
+	oldN := net.NumCandidates()
+	if err := net.RetireCandidate(c); err != nil {
+		return nil, fmt.Errorf("schemanet: %w", err)
+	}
+	s.engine.Retire(c)
+	carried, err := s.pmn.TopologyChanged(oldN, c)
+	if err != nil {
+		return nil, fmt.Errorf("schemanet: %w", err)
+	}
+	s.topoOps = append(s.topoOps, topoOp{
+		kind: topoRetire, at: s.pmn.Feedback().Count(), from: from, to: to,
+	})
+	return carried, nil
+}

@@ -1,0 +1,99 @@
+package schemanet_test
+
+// Benchmarks for the dynamic-network topology operations: what one
+// incremental arrival costs on a live session, and how that compares
+// to recompiling the world from scratch (the only option before
+// AddSchema/AddCandidates existed).
+
+import (
+	"fmt"
+	"testing"
+
+	"schemanet"
+)
+
+// BenchmarkAddSchema measures registering one fresh (candidate-free)
+// schema on a live multi-component session: network append, conflict
+// index growth, and cycle-plan refresh — no component store is
+// touched, so no resampling happens. The session is recycled every 64
+// schemas so the auto-connected interaction graph stays bounded.
+func BenchmarkAddSchema(b *testing.B) {
+	d := benchMultiComponentDataset(b, 512, 4)
+	attrs := []string{"id", "name", "amount", "date"}
+	fresh := func() *schemanet.Session {
+		s, err := schemanet.NewSession(d.Network, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := fresh()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 && i > 0 {
+			b.StopTimer()
+			s = fresh()
+			b.StartTimer()
+		}
+		if err := s.AddSchema(fmt.Sprintf("late_%d", i), attrs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAddCandidatesMerge measures the component-merge path on the
+// multicomp profile: a batch of candidates bridging two of the four
+// constraint-connected components arrives on a live session
+// (incremental — untouched components keep samples, probabilities, and
+// cached gains; the merged component reuses survivor samples), versus
+// rebuilding the final network and a fresh session from scratch
+// (recompile + resample the world). Incremental should win: it pays
+// for the merged component only.
+func BenchmarkAddCandidatesMerge(b *testing.B) {
+	for _, size := range []int{512, 2048} {
+		d := benchMultiComponentDataset(b, size, 4)
+		base := d.Network
+		nc := base.NumCandidates()
+		// A bridge between the first and last groups: their attribute
+		// ranges are disjoint, so these endpoints are guaranteed to sit
+		// in different constraint-connected components.
+		bridge := []schemanet.Correspondence{
+			{A: base.Candidate(0).A, B: base.Candidate(nc - 1).B, Confidence: 0.8},
+			{A: base.Candidate(0).B, B: base.Candidate(nc - 1).A, Confidence: 0.5},
+		}
+
+		b.Run(fmt.Sprintf("C=%d/incremental", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := schemanet.NewSession(base, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := s.AddCandidates(bridge); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("C=%d/rebuild", size), func(b *testing.B) {
+			// WithCandidates validates against the interaction graph and
+			// (unlike the live AppendCandidates path) does not add missing
+			// edges, so pre-connect the bridged schemas on a clone.
+			pre := base.Clone()
+			for _, c := range bridge {
+				pre.Interaction().AddEdge(int(pre.SchemaOf(c.A)), int(pre.SchemaOf(c.B)))
+			}
+			final := append(pre.Candidates(), bridge...)
+			for i := 0; i < b.N; i++ {
+				net, err := pre.WithCandidates(final)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := schemanet.NewSession(net, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

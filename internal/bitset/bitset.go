@@ -42,6 +42,21 @@ func FromIndices(n int, indices ...int) *Set {
 // Len returns the capacity of the universe (not the number of members).
 func (s *Set) Len() int { return s.n }
 
+// Grow extends the universe capacity to n in place, preserving members
+// and — crucially — pointer identity, so sets shared between several
+// holders (e.g. compiled gate masks aliased into cycle plans) grow for
+// all of them at once. Shrinking is rejected.
+func (s *Set) Grow(n int) {
+	if n < s.n {
+		panic(fmt.Sprintf("bitset: Grow from %d to smaller capacity %d", s.n, n))
+	}
+	s.n = n
+	w := (n + wordBits - 1) / wordBits
+	for len(s.words) < w {
+		s.words = append(s.words, 0)
+	}
+}
+
 // Add inserts i into the set.
 func (s *Set) Add(i int) {
 	s.check(i)

@@ -28,6 +28,11 @@ type conflictIndex struct {
 	extra    [][]*bitset.Set
 	gates    []gatedConstraint
 	residual []Constraint
+
+	// retiredMask marks candidates withdrawn through Engine.Retire; they
+	// are blocked from Maximize/Maximal so no instance ever re-acquires
+	// them. nil while no candidate was ever retired.
+	retiredMask *bitset.Set
 }
 
 // chainStreamer is an optional fast path for gated constraints: it

@@ -100,20 +100,26 @@ func (uf *unionFind) union(a, b int) {
 // violation structure the index cannot see — return the trivial
 // one-component partition.
 //
-// The partition is computed once per engine family (forks share the
-// cache) and the same immutable value is returned on every call, so
-// Components doubles as the component-index lookup of the concurrent
-// serving layer: ComponentOf on the returned partition is a plain slice
-// read, safe from any goroutine.
+// The partition is computed lazily per engine family (forks share the
+// cache) and the same immutable value is returned on every call until a
+// topology mutation (Grow/Retire) invalidates it, so Components doubles
+// as the component-index lookup of the concurrent serving layer:
+// ComponentOf on the returned partition is a plain slice read, safe
+// from any goroutine.
 func (e *Engine) Components() *Partition {
-	e.parts.once.Do(func() { e.parts.p = e.computeComponents() })
-	return e.parts.p
+	pc := e.parts
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.p == nil {
+		pc.p, pc.uf = e.computeComponents()
+	}
+	return pc.p
 }
 
-func (e *Engine) computeComponents() *Partition {
+func (e *Engine) computeComponents() (*Partition, *unionFind) {
 	n := e.net.NumCandidates()
 	if e.idx == nil || len(e.idx.residual) > 0 {
-		return singlePartition(n)
+		return singlePartition(n), nil
 	}
 	uf := newUnionFind(n)
 	for c, r := range e.idx.rows {
@@ -126,6 +132,14 @@ func (e *Engine) computeComponents() *Partition {
 			return true
 		})
 	}
+	e.unionGateMasks(uf)
+	return partitionFrom(uf, n), uf
+}
+
+// unionGateMasks folds the gated constraints' participation masks into
+// the union-find. Idempotent, so growPartition can re-run it after a
+// topology change.
+func (e *Engine) unionGateMasks(uf *unionFind) {
 	for gi := range e.idx.gates {
 		g := &e.idx.gates[gi]
 		// Gate masks are shared between the candidates of one schema pair
@@ -157,7 +171,6 @@ func (e *Engine) computeComponents() *Partition {
 			})
 		}
 	}
-	return partitionFrom(uf, n)
 }
 
 // partitionFrom materializes the union-find classes, ordering

@@ -27,6 +27,7 @@ const KindCycle = "cycle"
 // conflict index".
 type Cycle struct {
 	net    *schema.Network
+	maxLen int
 	cycles []graphs.Cycle
 	// canonical[i] is the plan of cycles[i] rotated to start at its
 	// canonical first edge (used by Violations to report each chain once).
@@ -79,17 +80,34 @@ const DefaultMaxCycleLen = 3
 // DefaultMaxCycleLen for the paper's setting). maxLen below 3 yields a
 // constraint that never fires.
 func NewCycle(net *schema.Network, maxLen int) *Cycle {
-	cc := &Cycle{
-		net:      net,
-		cycles:   net.Interaction().SimpleCycles(maxLen),
-		byEdge:   make(map[[2]int][]*rotationPlan),
-		byPair:   make(map[[2]int][]int),
-		pairMask: make(map[[2]int]*bitset.Set),
-	}
+	cc := &Cycle{net: net, maxLen: maxLen}
+	cc.RebuildIndex()
+	return cc
+}
+
+// RebuildIndex re-derives the whole compiled chain index — schema
+// cycles, rotation plans, pair masks, hop lists — from the live network,
+// in place. Engine.Grow and Engine.Retire call it after the network
+// changes: the enumeration is over the *schema* interaction graph plus
+// one pass over the candidates, so it is cheap relative to any
+// re-sampling, and rebuilding in place means every engine fork sharing
+// this constraint (through the shared constraint slice) observes the new
+// plans at once. Retired candidates are excluded from the masks and hop
+// lists, so no chain can ever route through them.
+func (cc *Cycle) RebuildIndex() {
+	net := cc.net
+	cc.cycles = net.Interaction().SimpleCycles(cc.maxLen)
+	cc.canonical = nil
+	cc.byEdge = make(map[[2]int][]*rotationPlan)
+	cc.byPair = make(map[[2]int][]int)
+	cc.pairMask = make(map[[2]int]*bitset.Set)
 	n := net.NumCandidates()
 	cc.numSchemas = net.NumSchemas()
 	cc.attrTo = make([][]hop, net.NumAttributes()*cc.numSchemas)
 	for i := 0; i < n; i++ {
+		if net.Retired(i) {
+			continue
+		}
 		sa, sb := net.SchemaPair(i)
 		key := pairKey(int(sa), int(sb))
 		cc.byPair[key] = append(cc.byPair[key], i)
@@ -102,12 +120,16 @@ func NewCycle(net *schema.Network, maxLen int) *Cycle {
 		cc.attrTo[ia] = append(cc.attrTo[ia], hop{cand: i, other: cand.B})
 		cc.attrTo[ib] = append(cc.attrTo[ib], hop{cand: i, other: cand.A})
 	}
-	emptyMask := bitset.New(n)
+	// Candidate-less pairs get a real (empty) mask registered in pairMask
+	// rather than one shared sentinel: the masks are aliased into the
+	// plans' otherEdges, so materializing them per pair keeps each plan's
+	// view independent.
 	maskOf := func(u, v int) *bitset.Set {
-		if m := cc.pairMask[pairKey(u, v)]; m != nil {
-			return m
+		key := pairKey(u, v)
+		if cc.pairMask[key] == nil {
+			cc.pairMask[key] = bitset.New(n)
 		}
-		return emptyMask
+		return cc.pairMask[key]
 	}
 	for _, cyc := range cc.cycles {
 		k := len(cyc)
@@ -142,10 +164,12 @@ func NewCycle(net *schema.Network, maxLen int) *Cycle {
 	}
 	cc.plansByCand = make([][]*rotationPlan, n)
 	for i := 0; i < n; i++ {
+		if net.Retired(i) {
+			continue
+		}
 		sa, sb := net.SchemaPair(i)
 		cc.plansByCand[i] = cc.byEdge[pairKey(int(sa), int(sb))]
 	}
-	return cc
 }
 
 func pairKey(u, v int) [2]int {
@@ -184,6 +208,9 @@ func (cc *Cycle) Compile() Compiled {
 	}
 	gates := make(map[[2]int]pairGate)
 	for c := 0; c < n; c++ {
+		if cc.net.Retired(c) {
+			continue // nil mask: a retired candidate can never violate
+		}
 		sa, sb := cc.net.SchemaPair(c)
 		key := pairKey(int(sa), int(sb))
 		g, ok := gates[key]

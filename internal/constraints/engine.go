@@ -44,12 +44,22 @@ type Engine struct {
 	chainBuf []int       // Repair: chain buffer for streaming enumeration
 }
 
-// partitionCache memoizes Engine.Components once per engine family: the
-// partition depends only on the immutable compiled index, so forks share
-// one cache and concurrent first calls race benignly through sync.Once.
+// partitionCache memoizes Engine.Components per engine family: the
+// partition depends only on the compiled index, so forks share one
+// cache. Since Engine.Grow/Retire mutate the index, the cache is a
+// mutex-guarded mutable union-find rather than a sync.Once: Grow
+// extends the persistent forest and merges the components a new
+// candidate bridges; Retire re-partitions just the touched component.
+// Every published *Partition value is itself immutable — topology
+// changes install a fresh value, they never mutate one in place.
 type partitionCache struct {
-	once sync.Once
-	p    *Partition
+	mu sync.Mutex
+	p  *Partition
+	// uf is the persistent disjoint-set forest behind p on the compiled
+	// path. It is nil when p was computed on a residual/interpreted
+	// engine (trivial partition) and after a Retire (splits cannot be
+	// expressed in a union-find; the next Grow rebuilds it).
+	uf *unionFind
 }
 
 // NewEngine binds the constraints to the network and compiles them. The
@@ -168,10 +178,18 @@ func (e *Engine) CanAdd(inst *bitset.Set, c int) bool {
 
 // Maximal reports whether inst is maximal w.r.t. Γ and the excluded set
 // (typically F−): no candidate outside inst and excluded can be added
-// without violating a constraint.
+// without violating a constraint. Retired candidates are never
+// addable, so they cannot disqualify maximality.
 func (e *Engine) Maximal(inst, excluded *bitset.Set) bool {
+	var retired *bitset.Set
+	if e.idx != nil {
+		retired = e.idx.retiredMask
+	}
 	for c := 0; c < e.net.NumCandidates(); c++ {
 		if inst.Has(c) || (excluded != nil && excluded.Has(c)) {
+			continue
+		}
+		if retired != nil && retired.Has(c) {
 			continue
 		}
 		if e.CanAdd(inst, c) {
@@ -265,6 +283,9 @@ func (e *Engine) maximizeOrder(inst, excluded *bitset.Set, order []int) {
 	blocked.CopyFrom(inst)
 	if excluded != nil {
 		blocked.UnionWith(excluded)
+	}
+	if e.idx.retiredMask != nil {
+		blocked.UnionWith(e.idx.retiredMask)
 	}
 	inst.ForEach(func(c int) bool {
 		if r := e.idx.rows[c]; r != nil {
@@ -491,12 +512,15 @@ func (e *Engine) ViolationCount(inst *bitset.Set) int {
 	return count
 }
 
-// FullInstance returns the instance containing every candidate; with
-// ViolationCount it reports the violations among the raw matcher output.
+// FullInstance returns the instance containing every live (non-retired)
+// candidate; with ViolationCount it reports the violations among the raw
+// matcher output.
 func (e *Engine) FullInstance() *bitset.Set {
 	inst := e.NewInstance()
 	for c := 0; c < e.net.NumCandidates(); c++ {
-		inst.Add(c)
+		if !e.net.Retired(c) {
+			inst.Add(c)
+		}
 	}
 	return inst
 }

@@ -30,9 +30,21 @@ func (o *OneToOne) Name() string { return KindOneToOne }
 // the conflictPartners predicate evaluated once against the whole
 // candidate universe instead of per instance.
 func (o *OneToOne) Compile() Compiled {
+	return o.CompileFrom(0)
+}
+
+// CompileFrom implements Growable: it emits conflict rows only for
+// candidates at index oldN and above (their partners may be anywhere in
+// the universe). CompileFrom(0) is the full compile. Retired candidates
+// get no row — and never appear as partners, since they are absent from
+// the network's per-attribute index.
+func (o *OneToOne) CompileFrom(oldN int) Compiled {
 	n := o.net.NumCandidates()
 	rows := make([]*bitset.Set, n)
-	for c := 0; c < n; c++ {
+	for c := oldN; c < n; c++ {
+		if o.net.Retired(c) {
+			continue
+		}
 		cand := o.net.Candidate(c)
 		for _, shared := range [2]schema.AttrID{cand.A, cand.B} {
 			otherSchema := o.net.SchemaOf(o.net.Other(c, shared))

@@ -94,6 +94,13 @@ func (f *Feedback) History() []Assertion {
 	return out
 }
 
+// Grow widens the feedback universe to n candidates after a topology
+// change; existing assertions keep their indices.
+func (f *Feedback) Grow(n int) {
+	f.approved.Grow(n)
+	f.disapproved.Grow(n)
+}
+
 // Clone returns an independent copy.
 func (f *Feedback) Clone() *Feedback {
 	return &Feedback{

@@ -88,6 +88,12 @@ type Inference interface {
 	// requested from the sampler (0 for exact backends), the effort unit
 	// the PMN's emission counter aggregates.
 	Refill() int
+	// Grow widens the backend to an n-candidate universe after a
+	// topology change that left this component's membership unchanged:
+	// the store's instance bitsets widen in place and any universe-sized
+	// scratch is dropped. local is the PMN's new global→column index
+	// slice (nil for a full-universe store).
+	Grow(n int, local []int32)
 }
 
 // DefaultMinSamples is the emission chunk size of the adaptive refill
@@ -237,6 +243,13 @@ func (s *sampledInference) refillRound() int {
 	return emitted
 }
 
+func (s *sampledInference) Grow(n int, local []int32) {
+	s.store.GrowUniverse(n, local)
+	// The walk's instance/blocked scratch is universe-sized; drop it so
+	// the next SampleWithin reallocates at the new width.
+	s.sampler.ResetScratch()
+}
+
 // maxAbsDelta returns max_j |a[j] − b[j]| over equal-length vectors.
 func maxAbsDelta(a, b []float64) float64 {
 	d := 0.0
@@ -319,6 +332,11 @@ func (x *exactInference) Apply(c int, approve bool) bool {
 }
 
 func (x *exactInference) Refill() int { return 0 }
+
+func (x *exactInference) Grow(n int, local []int32) {
+	x.store.GrowUniverse(n, local)
+	x.excl = nil // universe-sized scratch; rebuilt on demand
+}
 
 // exactBudget resolves Config.ExactBudget: under InferAuto, zero means
 // DefaultExactBudget; under forced InferExact, zero means unlimited

@@ -152,6 +152,14 @@ type PMN struct {
 	// that component's members — the others' cached gains stay valid.
 	gains      []float64
 	gainsStale []bool // per component
+
+	// topoSeed/topoGen derive the deterministic sampler streams of
+	// components rebuilt by topology changes (see TopologyChanged):
+	// the seed of a rebuilt component is a pure function of
+	// (topoSeed, topoGen, members), so live mutation and durable replay
+	// draw identical streams without consuming the session rng.
+	topoSeed int64
+	topoGen  uint64
 }
 
 // newComponent wires one component: an engine fork of its own (walk
@@ -434,6 +442,9 @@ func (p *PMN) RecordAssertion(c int, approve bool) error {
 	if c < 0 || c >= len(p.probs) {
 		return fmt.Errorf("core: candidate %d out of range [0,%d)", c, len(p.probs))
 	}
+	if p.engine.Network().Retired(c) {
+		return fmt.Errorf("core: candidate %d: %w", c, ErrCandidateRetired)
+	}
 	return p.feedback.assert(c, approve)
 }
 
@@ -521,6 +532,9 @@ func (p *PMN) ValidateBatch(assertions []Assertion) error {
 		}
 		if seen[a.Cand] {
 			return fmt.Errorf("core: assertion %d: candidate %d asserted twice in batch", i, a.Cand)
+		}
+		if p.engine.Network().Retired(a.Cand) {
+			return fmt.Errorf("core: assertion %d: candidate %d: %w", i, a.Cand, ErrCandidateRetired)
 		}
 		if p.feedback.IsAsserted(a.Cand) {
 			return fmt.Errorf("core: assertion %d: candidate %d: %w", i, a.Cand, ErrAlreadyAsserted)

@@ -79,10 +79,11 @@ func (p *PMN) SnapshotComponentProbs(k int) *ComponentSnapshot {
 
 func (p *PMN) snapshot(k int, withGains bool) *ComponentSnapshot {
 	cp := p.comps[k]
+	net := p.Network()
 	snap := &ComponentSnapshot{entropy: cp.entropy, bestGain: -1, ranked: withGains}
 	collect := func(j, c int) {
 		snap.probs[j] = p.probs[c]
-		if cp.isAsserted(c) {
+		if cp.isAsserted(c) || net.Retired(c) {
 			return
 		}
 		snap.unasserted = append(snap.unasserted, c)

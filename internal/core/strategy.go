@@ -19,12 +19,15 @@ type Strategy interface {
 	Next(p *PMN, rng *rand.Rand) (c int, ok bool)
 }
 
-// unasserted returns all candidates outside F+ ∪ F−.
+// unasserted returns all candidates outside F+ ∪ F−, excluding retired
+// candidates (they accept no feedback, so suggesting one would strand
+// the expert loop on ErrCandidateRetired).
 func unasserted(p *PMN) []int {
-	n := p.Network().NumCandidates()
+	net := p.Network()
+	n := net.NumCandidates()
 	out := make([]int, 0, n)
 	for c := 0; c < n; c++ {
-		if !p.Feedback().IsAsserted(c) {
+		if !p.Feedback().IsAsserted(c) && !net.Retired(c) {
 			out = append(out, c)
 		}
 	}

@@ -34,6 +34,13 @@ func New(n int) *Graph {
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return g.n }
 
+// AddVertex appends a new isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, make(map[int]bool))
+	g.n++
+	return g.n - 1
+}
+
 // NumEdges returns the number of edges.
 func (g *Graph) NumEdges() int { return g.m }
 

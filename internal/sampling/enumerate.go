@@ -92,10 +92,13 @@ func EnumerateWithin(e *constraints.Engine, approved, disapproved, within *bitse
 		}
 	}
 
-	// Free candidates: tracked, not asserted either way.
+	// Free candidates: tracked, not asserted either way, not retired
+	// (retired candidates can never join an instance, matching the
+	// retired-mask block in Maximize/Maximal).
+	net := e.Network()
 	var free []int
 	addFree := func(c int) bool {
-		if !base.Has(c) && (disapproved == nil || !disapproved.Has(c)) {
+		if !base.Has(c) && (disapproved == nil || !disapproved.Has(c)) && !net.Retired(c) {
 			free = append(free, c)
 		}
 		return true

@@ -83,6 +83,13 @@ func NewSampler(engine *constraints.Engine, cfg Config, rng *rand.Rand) *Sampler
 // Config returns the sampler's configuration.
 func (s *Sampler) Config() Config { return s.cfg }
 
+// ResetScratch drops the sampler's lazily allocated scratch masks so the
+// next walk re-derives them from the engine at the current universe
+// size. Callers must invoke it after the candidate universe grows.
+func (s *Sampler) ResetScratch() {
+	s.freeMask, s.exclMask, s.aprMask = nil, nil, nil
+}
+
 // FeedbackWithin derives the component-restricted form of the feedback
 // masks shared by every restricted operation (SampleWithin,
 // EnumerateWithin, the instantiation heuristic): aprOut = F+ ∩ within

@@ -77,6 +77,44 @@ func NewComponentStore(numCands, nmin int, members []int, local []int32) *Store 
 	}
 }
 
+// GrowUniverse widens the candidate universe to n in place after the
+// network gained candidates, updating the member mask, every held
+// instance, and the shared global→column map. The tracked member set is
+// unchanged — a store whose component membership changed must be
+// rebuilt, not grown — so columns and counts stay valid as-is; only the
+// fingerprint index needs recomputing, and only when the word width of
+// the instance bitsets actually changed.
+func (st *Store) GrowUniverse(n int, local []int32) {
+	if n < st.numCands {
+		panic("sampling: GrowUniverse shrinks the candidate universe")
+	}
+	oldWords := (st.numCands + 63) / 64
+	st.numCands = n
+	st.local = local
+	if st.members == nil {
+		// A full-universe store cannot grow: its columns are sized to
+		// the universe. Callers decompose before growing.
+		if n > st.m {
+			panic("sampling: GrowUniverse on a full-universe store")
+		}
+		return
+	}
+	st.memberMask.Grow(n)
+	for _, inst := range st.instances {
+		inst.Grow(n)
+	}
+	if (n+63)/64 != oldWords {
+		for k := range st.index {
+			delete(st.index, k)
+		}
+		for i, inst := range st.instances {
+			fp := inst.Fingerprint()
+			st.fps[i] = fp
+			st.index[fp] = append(st.index[fp], i)
+		}
+	}
+}
+
 // columnOf returns the column index of global candidate c. Callers must
 // pass a tracked candidate.
 func (st *Store) columnOf(c int) int {

@@ -23,8 +23,15 @@ type Builder struct {
 func NewBuilder() *Builder { return &Builder{} }
 
 // AddSchema registers a schema with the given attribute names and returns
-// its ID. Attribute names must be unique within the schema.
+// its ID. Schema names must be unique across the network and attribute
+// names unique within the schema.
 func (b *Builder) AddSchema(name string, attrNames ...string) SchemaID {
+	for _, existing := range b.schemas {
+		if existing.Name == name {
+			b.fail(fmt.Errorf("schema %q: duplicate schema name", name))
+			break
+		}
+	}
 	id := SchemaID(len(b.schemas))
 	s := Schema{ID: id, Name: name}
 	seen := make(map[string]bool, len(attrNames))

@@ -57,9 +57,11 @@ func (c Correspondence) Pair() [2]AttrID {
 	return [2]AttrID{c.A, c.B}
 }
 
-// Network is an immutable schema matching network N = ⟨S, G_S, C⟩ (the
-// constraint set Γ lives in package constraints). Build networks with
-// Builder.
+// Network is a schema matching network N = ⟨S, G_S, C⟩ (the constraint
+// set Γ lives in package constraints). Build networks with Builder;
+// networks built that way are immutable unless grown through the
+// in-place mutators in dynamic.go (AppendSchema, AppendCandidates,
+// RetireCandidate), which sessions apply to private clones only.
 type Network struct {
 	schemas     []Schema
 	attrs       []Attribute
@@ -68,6 +70,12 @@ type Network struct {
 
 	byAttr  [][]int           // AttrID -> indices of incident candidates
 	pairIdx map[[2]AttrID]int // canonical pair -> candidate index
+
+	// retired[i] marks candidate i as withdrawn: the entry stays in
+	// cands so indices remain stable, but it is removed from byAttr and
+	// pairIdx and excluded from constraints and inference. nil when no
+	// candidate was ever retired.
+	retired []bool
 }
 
 // NumSchemas returns |S|.
@@ -165,6 +173,25 @@ func (n *Network) Other(i int, a AttrID) AttrID {
 func (n *Network) DescribeCandidate(i int) string {
 	c := n.cands[i]
 	return fmt.Sprintf("%s ↔ %s (%.2f)", n.FullName(c.A), n.FullName(c.B), c.Confidence)
+}
+
+// Retired reports whether candidate i has been withdrawn via
+// RetireCandidate. Retired candidates keep their index (and Candidate(i)
+// still renders them) but are absent from CandidatesOf and
+// CandidateIndex.
+func (n *Network) Retired(i int) bool {
+	return n.retired != nil && i < len(n.retired) && n.retired[i]
+}
+
+// NumRetired returns the number of retired candidates.
+func (n *Network) NumRetired() int {
+	c := 0
+	for _, r := range n.retired {
+		if r {
+			c++
+		}
+	}
+	return c
 }
 
 // AttributeRange returns the minimum and maximum schema size, as reported

@@ -4,21 +4,52 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 )
 
-// Record is one durably logged expert assertion. Candidates are
+// RecordKind discriminates what a WAL record logs: an expert assertion
+// (the original record type) or one of the topology mutations a live
+// session accepts — schema arrival, candidate arrival, candidate
+// retirement.
+type RecordKind uint8
+
+const (
+	KindAssert RecordKind = iota
+	KindAddSchema
+	KindAddCandidates
+	KindRetire
+)
+
+// CandRecord is one appended candidate correspondence inside a
+// KindAddCandidates record, in attribute full-name form.
+type CandRecord struct {
+	From string
+	To   string
+	Conf float64
+}
+
+// Record is one durably logged session operation. Candidates are
 // referenced by attribute full names (as in saved sessions), so a WAL
 // survives candidate reordering across versions; Seq is the session's
-// monotonic assertion sequence number, continuous across snapshot
+// monotonic operation sequence number, continuous across snapshot
 // compactions — recovery uses it to drop WAL records a snapshot
 // already covers.
+//
+// Field use by kind: KindAssert sets From/To (the asserted pair),
+// Approved, and optionally Annotator. KindAddSchema sets Schema and
+// Attrs. KindAddCandidates sets Cands. KindRetire sets From/To (the
+// retired pair). Unused fields are zero.
 type Record struct {
 	Seq       uint64
+	Kind      RecordKind
 	Annotator string
 	From      string
 	To        string
 	Approved  bool
+	Schema    string       // KindAddSchema
+	Attrs     []string     // KindAddSchema
+	Cands     []CandRecord // KindAddCandidates
 }
 
 // SyncPolicy says when an Append call fsyncs the log.
@@ -71,16 +102,26 @@ func (p SyncPolicy) String() string {
 // payload itself:
 //
 //	seq       uint64 LE
-//	flags     uint8            (bit 0 = approved; other bits reserved)
+//	flags     uint8            (bits 1–2 = record kind; bit 0 = approved,
+//	                            valid only for kind 0; other bits reserved)
 //	annotator uvarint len + bytes
 //	from      uvarint len + bytes
 //	to        uvarint len + bytes
+//	          ... kind-specific section:
+//	kind 0 (assert):          nothing further
+//	kind 1 (add-schema):      schema uvarint len + bytes,
+//	                          uvarint attr count, each attr len + bytes
+//	kind 2 (add-candidates):  uvarint candidate count, each candidate as
+//	                          from len + bytes, to len + bytes,
+//	                          conf float64 bits uint64 LE
+//	kind 3 (retire):          nothing further (from/to name the pair)
 //
 // A record is valid only if the length is sane, the CRC matches, the
 // payload decodes consuming every byte, no reserved flag bit is set,
-// and its seq strictly exceeds the previous record's — so a torn or
-// corrupted tail is always detected and recovery returns exactly the
-// longest valid record prefix.
+// the approved bit is clear on non-assert kinds, and its seq strictly
+// exceeds the previous record's — so a torn or corrupted tail is
+// always detected and recovery returns exactly the longest valid
+// record prefix.
 const (
 	headerLen    = 7
 	frameLen     = 8 // length + crc
@@ -94,14 +135,32 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // appendPayload encodes r's payload (everything inside the frame).
 func appendPayload(buf []byte, r Record) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
-	var flags byte
+	flags := byte(r.Kind) << 1
 	if r.Approved {
-		flags = 1
+		flags |= 1
 	}
 	buf = append(buf, flags)
-	for _, s := range []string{r.Annotator, r.From, r.To} {
+	appendString := func(s string) {
 		buf = binary.AppendUvarint(buf, uint64(len(s)))
 		buf = append(buf, s...)
+	}
+	appendString(r.Annotator)
+	appendString(r.From)
+	appendString(r.To)
+	switch r.Kind {
+	case KindAddSchema:
+		appendString(r.Schema)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Attrs)))
+		for _, a := range r.Attrs {
+			appendString(a)
+		}
+	case KindAddCandidates:
+		buf = binary.AppendUvarint(buf, uint64(len(r.Cands)))
+		for _, c := range r.Cands {
+			appendString(c.From)
+			appendString(c.To)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Conf))
+		}
 	}
 	return buf
 }
@@ -132,21 +191,73 @@ func decodePayload(p []byte) (r Record, ok bool) {
 	}
 	r.Seq = binary.LittleEndian.Uint64(p)
 	flags := p[8]
-	if flags&^1 != 0 {
+	if flags&^0b111 != 0 {
 		return r, false
 	}
+	r.Kind = RecordKind(flags >> 1)
 	r.Approved = flags&1 != 0
+	if r.Approved && r.Kind != KindAssert {
+		return r, false
+	}
 	p = p[9:]
-	for _, dst := range []*string{&r.Annotator, &r.From, &r.To} {
+	// Reject non-canonical (padded) varints too: a valid payload must
+	// round-trip to the exact bytes it was parsed from, so recovery's
+	// "longest valid prefix" is also re-encodable.
+	takeUvarint := func() (uint64, bool) {
 		n, sz := binary.Uvarint(p)
-		// Reject non-canonical (padded) varints too: a valid payload
-		// must round-trip to the exact bytes it was parsed from, so
-		// recovery's "longest valid prefix" is also re-encodable.
-		if sz <= 0 || sz != uvarintLen(n) || n > uint64(len(p)-sz) {
+		if sz <= 0 || sz != uvarintLen(n) {
+			return 0, false
+		}
+		p = p[sz:]
+		return n, true
+	}
+	takeString := func(dst *string) bool {
+		n, ok := takeUvarint()
+		if !ok || n > uint64(len(p)) {
+			return false
+		}
+		*dst = string(p[:n])
+		p = p[n:]
+		return true
+	}
+	if !takeString(&r.Annotator) || !takeString(&r.From) || !takeString(&r.To) {
+		return r, false
+	}
+	switch r.Kind {
+	case KindAssert, KindRetire:
+		// No kind-specific section.
+	case KindAddSchema:
+		if !takeString(&r.Schema) {
 			return r, false
 		}
-		*dst = string(p[sz : sz+int(n)])
-		p = p[sz+int(n):]
+		n, ok := takeUvarint()
+		if !ok || n > uint64(len(p)) { // each attr needs ≥ 1 byte
+			return r, false
+		}
+		r.Attrs = make([]string, n)
+		for i := range r.Attrs {
+			if !takeString(&r.Attrs[i]) {
+				return r, false
+			}
+		}
+	case KindAddCandidates:
+		n, ok := takeUvarint()
+		if !ok || n > uint64(len(p))/10 { // each candidate needs ≥ 10 bytes
+			return r, false
+		}
+		r.Cands = make([]CandRecord, n)
+		for i := range r.Cands {
+			if !takeString(&r.Cands[i].From) || !takeString(&r.Cands[i].To) {
+				return r, false
+			}
+			if len(p) < 8 {
+				return r, false
+			}
+			r.Cands[i].Conf = math.Float64frombits(binary.LittleEndian.Uint64(p))
+			p = p[8:]
+		}
+	default:
+		return r, false
 	}
 	return r, len(p) == 0
 }

@@ -329,6 +329,17 @@ type Session struct {
 	rng      *rand.Rand
 	workers  int   // Options.Workers, for the concurrent wrapper's pool
 	seed     int64 // Options.Seed, for derived deterministic streams
+
+	// monolithic/interpreted gate the topology mutators (AddSchema,
+	// AddCandidates, RetireCandidate): both switches disable the
+	// component machinery incremental topology maintenance rides on.
+	monolithic  bool
+	interpreted bool
+	// topoOps logs the session's topology mutations interleaved with the
+	// assertion history (each op records the history length at the time
+	// it was applied), so Save can serialize and LoadSession replay the
+	// exact grow/assert interleaving. See session_io.go.
+	topoOps []topoOp
 }
 
 // ErrUnknownCandidate reports a candidate index outside the network's
@@ -371,6 +382,10 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
+	// The session owns a private copy of the network: the topology
+	// mutators (AddSchema, AddCandidates, RetireCandidate) grow it in
+	// place, which must never be visible through the caller's pointer.
+	net = net.Clone()
 	var cons []constraints.Constraint
 	if !o.DisableOneToOne {
 		cons = append(cons, constraints.NewOneToOne(net))
@@ -429,14 +444,17 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("schemanet: %w", err)
 	}
+	pmn.SetTopoSeed(o.Seed)
 	s := &Session{
-		engine:   engine,
-		pmn:      pmn,
-		strategy: strat,
-		instCfg:  instantiate.DefaultConfig(),
-		rng:      rng,
-		workers:  o.Workers,
-		seed:     o.Seed,
+		engine:      engine,
+		pmn:         pmn,
+		strategy:    strat,
+		instCfg:     instantiate.DefaultConfig(),
+		rng:         rng,
+		workers:     o.Workers,
+		seed:        o.Seed,
+		monolithic:  o.Monolithic,
+		interpreted: o.InterpretedConstraints,
 	}
 	s.instCfg.Iterations = o.InstantiateIterations
 	return s, nil
@@ -543,10 +561,19 @@ func (s *Session) InferenceOf(k int) (InferenceMode, error) {
 // maximal instances (the objective factorizes; see DESIGN.md,
 // "Component decomposition").
 func (s *Session) Instantiate() *Matching {
+	// Retired candidates are excluded like disapprovals: their conflict
+	// rows are cleared, so without the mask the local search could
+	// re-acquire them through the repair step.
+	dis := s.pmn.Feedback().Disapproved()
+	if rm := s.engine.RetiredMask(); rm != nil && !rm.Empty() {
+		d := dis.Clone()
+		d.UnionWith(rm)
+		dis = d
+	}
 	inst := instantiate.HeuristicDecomposed(
 		s.engine, s.pmn.ComponentStores(), s.pmn.ComponentMasks(),
 		s.pmn.Probabilities(),
-		s.pmn.Feedback().Approved(), s.pmn.Feedback().Disapproved(),
+		s.pmn.Feedback().Approved(), dis,
 		s.instCfg, s.rng)
 	return schema.MatchingFromCandidates(s.Network(), inst.Members())
 }

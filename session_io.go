@@ -9,10 +9,15 @@ import (
 	"schemanet/internal/core"
 )
 
-// sessionState is the serialized form of a session: the assertion
-// history in order. Probabilities are not persisted — they are
-// recomputed deterministically from the network, the options, and the
-// replayed feedback.
+// sessionState is the serialized form of a session. Version 1 is the
+// assertion history in order; Version 2 — written whenever the session
+// mutated its topology (AddSchema, AddCandidates, RetireCandidate) —
+// is the full interleaved operation stream, so replay reconstructs the
+// network growth between the assertions exactly as it happened.
+// Probabilities are not persisted — they are recomputed
+// deterministically from the network, the options, and the replayed
+// operations. A session that never changed topology still writes
+// Version 1, so files stay readable by older loaders.
 //
 // The same format doubles as the SessionStore's snapshot file: there,
 // Seq records the WAL sequence number the snapshot covers (recovery
@@ -23,7 +28,25 @@ type sessionState struct {
 	Version    int              `json:"version"`
 	Seq        uint64           `json:"seq,omitempty"`
 	Candidates int              `json:"candidates"`
-	History    []savedAssertion `json:"history"`
+	History    []savedAssertion `json:"history,omitempty"`
+	// Ops is the Version 2 payload: assertions and topology mutations in
+	// arrival order. History is empty when Ops is present.
+	Ops []savedOp `json:"ops,omitempty"`
+}
+
+// savedOp is one Version 2 operation: an assertion ("assert") or a
+// topology mutation ("add-schema", "add-candidates", "retire").
+// Candidates are referenced by attribute full names, like Version 1
+// history entries, so the stream survives candidate reindexing.
+type savedOp struct {
+	Kind      string      `json:"kind"`
+	From      string      `json:"from,omitempty"` // assert, retire
+	To        string      `json:"to,omitempty"`   // assert, retire
+	Approved  bool        `json:"approved,omitempty"`
+	Annotator string      `json:"annotator,omitempty"`
+	Schema    string      `json:"schema,omitempty"` // add-schema
+	Attrs     []string    `json:"attrs,omitempty"`  // add-schema
+	Cands     []savedCand `json:"cands,omitempty"`  // add-candidates
 }
 
 // savedAssertion references a correspondence by its attribute names so
@@ -53,22 +76,51 @@ func (s *Session) Save(w io.Writer) error {
 	return writeSessionState(w, st)
 }
 
-// sessionState snapshots the assertion history in saveable, validated
-// form.
+// sessionState snapshots the assertion history (and, for sessions that
+// mutated their topology, the interleaved operation stream) in
+// saveable, validated form.
 func (s *Session) sessionState() (sessionState, error) {
 	net := s.Network()
-	st := sessionState{Version: 1, Candidates: net.NumCandidates()}
-	for _, a := range s.pmn.Feedback().History() {
+	hist := s.pmn.Feedback().History()
+	rendered := make([]savedAssertion, len(hist))
+	for i, a := range hist {
 		c := net.Candidate(a.Cand)
-		st.History = append(st.History, savedAssertion{
+		rendered[i] = savedAssertion{
 			From:     net.FullName(c.A),
 			To:       net.FullName(c.B),
 			Approved: a.Approved,
-		})
+		}
 	}
-	if err := validateSaveable(net, st.History, s.pmn.Feedback().History()); err != nil {
+	// Rendered names resolve against the final network even for
+	// assertions recorded before later growth: attributes are never
+	// removed, and an asserted candidate can never be retired, so its
+	// pair lookup stays stable.
+	if err := validateSaveable(net, rendered, hist); err != nil {
 		return sessionState{}, err
 	}
+	if len(s.topoOps) == 0 {
+		return sessionState{Version: 1, Candidates: net.NumCandidates(), History: rendered}, nil
+	}
+	st := sessionState{Version: 2, Candidates: net.NumCandidates()}
+	hi := 0
+	emitAsserts := func(upto int) {
+		for ; hi < upto && hi < len(rendered); hi++ {
+			sa := rendered[hi]
+			st.Ops = append(st.Ops, savedOp{Kind: "assert", From: sa.From, To: sa.To, Approved: sa.Approved})
+		}
+	}
+	for _, op := range s.topoOps {
+		emitAsserts(op.at)
+		switch op.kind {
+		case topoAddSchema:
+			st.Ops = append(st.Ops, savedOp{Kind: "add-schema", Schema: op.schema, Attrs: op.attrs})
+		case topoAddCandidates:
+			st.Ops = append(st.Ops, savedOp{Kind: "add-candidates", Cands: op.cands})
+		case topoRetire:
+			st.Ops = append(st.Ops, savedOp{Kind: "retire", From: op.from, To: op.to})
+		}
+	}
+	emitAsserts(len(rendered))
 	return st, nil
 }
 
@@ -193,6 +245,102 @@ func replaySession(net *Network, opts *Options, hist []savedAssertion) (*Session
 	return s, nil
 }
 
+// resolveSavedCands resolves an add-candidates op's name-form
+// correspondences against the (current, mid-replay) network.
+func resolveSavedCands(net *Network, i int, scs []savedCand) ([]Correspondence, error) {
+	idx := attrIndex(net)
+	out := make([]Correspondence, len(scs))
+	for j, sc := range scs {
+		a, ok := idx[sc.From]
+		if !ok {
+			return nil, fmt.Errorf("session op %d, candidate %d: unknown attribute %q", i, j, sc.From)
+		}
+		b, ok := idx[sc.To]
+		if !ok {
+			return nil, fmt.Errorf("session op %d, candidate %d: unknown attribute %q", i, j, sc.To)
+		}
+		out[j] = Correspondence{A: a, B: b, Confidence: sc.Conf}
+	}
+	return out, nil
+}
+
+// replaySessionOps restores a Version 2 session: topology mutations are
+// applied through the same public mutators a live session uses, and the
+// assertions between two mutations are batch-applied against the
+// network state of that moment. Under exact inference the result is
+// bit-identical to the live session (assertion filtering is
+// order-independent within a segment); rebuilt components draw their
+// content-derived sampler streams exactly as the live mutation did.
+func replaySessionOps(net *Network, opts *Options, ops []savedOp) (*Session, error) {
+	s, err := NewSession(net, opts)
+	if err != nil {
+		return nil, err
+	}
+	var pending []savedAssertion
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		batch, err := resolveHistory(s.Network(), pending)
+		if err != nil {
+			return fmt.Errorf("schemanet: %w", err)
+		}
+		pending = pending[:0]
+		if err := s.pmn.AssertBatch(batch); err != nil {
+			return fmt.Errorf("schemanet: replaying session history: %w", err)
+		}
+		return nil
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case "assert":
+			pending = append(pending, savedAssertion{From: op.From, To: op.To, Approved: op.Approved, Annotator: op.Annotator})
+		case "add-schema":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if err := s.AddSchema(op.Schema, op.Attrs...); err != nil {
+				return nil, fmt.Errorf("schemanet: session op %d: %w", i, err)
+			}
+		case "add-candidates":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cs, err := resolveSavedCands(s.Network(), i, op.Cands)
+			if err != nil {
+				return nil, fmt.Errorf("schemanet: %w", err)
+			}
+			if err := s.AddCandidates(cs); err != nil {
+				return nil, fmt.Errorf("schemanet: session op %d: %w", i, err)
+			}
+		case "retire":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur := s.Network()
+			idx := attrIndex(cur)
+			a, oka := idx[op.From]
+			b, okb := idx[op.To]
+			if !oka || !okb {
+				return nil, fmt.Errorf("schemanet: session op %d: unknown attribute in retire %q ↔ %q", i, op.From, op.To)
+			}
+			c := cur.CandidateIndex(a, b)
+			if c < 0 {
+				return nil, fmt.Errorf("schemanet: session op %d: retire target %s ↔ %s is not a live candidate", i, op.From, op.To)
+			}
+			if err := s.RetireCandidate(c); err != nil {
+				return nil, fmt.Errorf("schemanet: session op %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("schemanet: session op %d: unknown kind %q", i, op.Kind)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // decodeSessionState parses a saved session, annotating JSON-level
 // failures with their byte offset.
 func decodeSessionState(r io.Reader) (sessionState, error) {
@@ -210,7 +358,7 @@ func decodeSessionState(r io.Reader) (sessionState, error) {
 			return st, fmt.Errorf("schemanet: decoding session: %w", err)
 		}
 	}
-	if st.Version != 1 {
+	if st.Version != 1 && st.Version != 2 {
 		return st, fmt.Errorf("schemanet: unsupported session version %d", st.Version)
 	}
 	return st, nil
@@ -239,6 +387,12 @@ func decodeSessionState(r io.Reader) (sessionState, error) {
 // session match the saved one even when promotions happened mid-session
 // rather than at replay time.
 //
+// A Version 2 file (written by a session that mutated its topology)
+// replays against the network the session STARTED from: pass the same
+// base network, and the recorded AddSchema / AddCandidates /
+// RetireCandidate operations re-grow it — interleaved with the
+// assertions in arrival order — to reconstruct the final session.
+//
 // Decoder errors carry positional context: the byte offset for JSON
 // syntax and type failures, the history index and field for records
 // that do not resolve against net.
@@ -246,6 +400,9 @@ func LoadSession(net *Network, opts *Options, r io.Reader) (*Session, error) {
 	st, err := decodeSessionState(r)
 	if err != nil {
 		return nil, err
+	}
+	if st.Version == 2 {
+		return replaySessionOps(net, opts, st.Ops)
 	}
 	return replaySession(net, opts, st.History)
 }

@@ -131,45 +131,54 @@ func TestLoadSessionErrorContext(t *testing.T) {
 	}
 }
 
-// TestSaveRejectsAmbiguousNames: Save must refuse — writing nothing —
-// when a history entry's rendered names would not resolve back to the
-// asserted candidate, instead of emitting a file that replays someone
-// else's assertion. Two schemas sharing a name make "S.a" ambiguous.
-func TestSaveRejectsAmbiguousNames(t *testing.T) {
-	b := schemanet.NewBuilder()
-	s1 := b.AddSchema("S", "a") // attr 0
-	s2 := b.AddSchema("S", "a") // attr 1 — same FullName "S.a"
-	tt := b.AddSchema("T", "x") // attr 2
-	b.Connect(s1, tt)
-	b.Connect(s2, tt)
-	b.AddCorrespondence(0, 2, 0.9)
-	b.AddCorrespondence(1, 2, 0.8)
-	net, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
+// TestDuplicateSchemaNameRejected: duplicate schema names used to slip
+// through Builder.AddSchema and make rendered attribute names ("S.a")
+// ambiguous, so a saved session could replay someone else's assertion.
+// Both construction surfaces — Builder.Build and the live
+// Session.AddSchema — must reject the duplicate outright.
+func TestDuplicateSchemaNameRejected(t *testing.T) {
+	cases := []struct {
+		name    string
+		schemas []string
+		wantErr bool
+	}{
+		{"distinct names", []string{"S", "T", "U"}, false},
+		{"duplicate pair", []string{"S", "S", "T"}, true},
+		{"duplicate later", []string{"S", "T", "T"}, true},
+		{"triple duplicate", []string{"S", "S", "S"}, true},
 	}
+	for _, tc := range cases {
+		b := schemanet.NewBuilder()
+		var ids []schemanet.SchemaID
+		for _, name := range tc.schemas {
+			ids = append(ids, b.AddSchema(name, "a"))
+		}
+		b.Connect(ids[0], ids[len(ids)-1])
+		_, err := b.Build()
+		if tc.wantErr && err == nil {
+			t.Errorf("%s: Build accepted duplicate schema names", tc.name)
+		}
+		if tc.wantErr && err != nil && !strings.Contains(err.Error(), "duplicate schema name") {
+			t.Errorf("%s: error %q does not name the duplicate", tc.name, err)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("%s: Build failed: %v", tc.name, err)
+		}
+	}
+
+	// The live mutator rejects a duplicate too, leaving the session
+	// usable.
+	net, _ := videoNet(t)
 	s, err := schemanet.NewSession(net, &schemanet.Options{Exact: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Assert the candidate whose "S.a" is shadowed by the later schema.
-	shadowed := net.CandidateIndex(0, 2)
-	if shadowed < 0 {
-		t.Fatal("missing expected candidate")
+	if err := s.AddSchema(net.Schemas()[0].Name, "x"); err == nil ||
+		!strings.Contains(err.Error(), "duplicate schema name") {
+		t.Fatalf("Session.AddSchema duplicate name: err = %v, want duplicate rejection", err)
 	}
-	if err := s.Assert(shadowed, true); err != nil {
-		t.Fatal(err)
-	}
-	var buf strings.Builder
-	err = s.Save(&buf)
-	if err == nil {
-		t.Fatal("Save accepted an ambiguous, unloadable history")
-	}
-	if !strings.Contains(err.Error(), "entry 0") {
-		t.Errorf("error %q does not name the entry", err)
-	}
-	if buf.Len() != 0 {
-		t.Fatalf("Save wrote %d bytes before failing; must write nothing on error", buf.Len())
+	if _, ok := s.Suggest(); !ok {
+		t.Fatal("session unusable after rejected AddSchema")
 	}
 }
 

@@ -341,8 +341,10 @@ func (st *SessionStore) openLocked(name string) (*liveSession, error) {
 
 	// Snapshot, if any. Its Seq is the WAL sequence number it covers; a
 	// plain Session.Save dropped in as snapshot.json (Seq 0) counts as
-	// covering its own history — the supported migration path.
-	var snapHist []savedAssertion
+	// covering its own history — the supported migration path. A
+	// Version 2 snapshot (a session that mutated its topology) carries
+	// the interleaved operation stream; both forms normalize to records.
+	var snapRecs []wal.Record
 	snapSeq := uint64(0)
 	data, err := st.fs.ReadFile(filepath.Join(dir, snapshotFile))
 	switch {
@@ -351,14 +353,26 @@ func (st *SessionStore) openLocked(name string) (*liveSession, error) {
 		if derr != nil {
 			return nil, fmt.Errorf("schemanet: store: session %q: corrupt snapshot: %w", name, derr)
 		}
-		snapHist = snap.History
+		if snap.Version == 2 {
+			snapRecs, derr = opsToRecords(snap.Ops)
+			if derr != nil {
+				return nil, fmt.Errorf("schemanet: store: session %q: corrupt snapshot: %w", name, derr)
+			}
+		} else {
+			for i, sa := range snap.History {
+				snapRecs = append(snapRecs, wal.Record{
+					Seq: uint64(i + 1), Annotator: sa.Annotator,
+					From: sa.From, To: sa.To, Approved: sa.Approved,
+				})
+			}
+		}
 		snapSeq = snap.Seq
 		if snapSeq == 0 {
-			snapSeq = uint64(len(snapHist))
+			snapSeq = uint64(len(snapRecs))
 		}
-		if snapSeq != uint64(len(snapHist)) {
+		if snapSeq != uint64(len(snapRecs)) {
 			return nil, fmt.Errorf("schemanet: store: session %q: snapshot covers seq %d but holds %d entries",
-				name, snapSeq, len(snapHist))
+				name, snapSeq, len(snapRecs))
 		}
 	case os.IsNotExist(err):
 	default:
@@ -378,13 +392,7 @@ func (st *SessionStore) openLocked(name string) (*liveSession, error) {
 	// dropped (a crash between snapshot write and WAL truncation leaves
 	// that overlap); a sequence gap means records that were never
 	// acknowledged durable — everything from the gap on is dropped.
-	recs := make([]wal.Record, 0, len(snapHist)+len(walRecs))
-	for i, sa := range snapHist {
-		recs = append(recs, wal.Record{
-			Seq: uint64(i + 1), Annotator: sa.Annotator,
-			From: sa.From, To: sa.To, Approved: sa.Approved,
-		})
-	}
+	recs := snapRecs
 	dirty := false // on-disk state needs a normalizing compaction
 	for _, r := range walRecs {
 		if r.Seq <= snapSeq {
@@ -400,7 +408,7 @@ func (st *SessionStore) openLocked(name string) (*liveSession, error) {
 		recs = append(recs, r)
 	}
 
-	s, err := replaySession(st.net, st.sopts, toSaved(recs))
+	s, err := replaySessionOps(st.net, st.sopts, recordsToOps(recs))
 	if err != nil {
 		l.Close()
 		return nil, fmt.Errorf("schemanet: store: session %q: %w", name, err)
@@ -408,7 +416,9 @@ func (st *SessionStore) openLocked(name string) (*liveSession, error) {
 	l.SetLastSeq(snapSeq)
 	ls := &liveSession{
 		store: st, name: name, dir: dir,
-		cs: s.Concurrent(), attrIdx: attrIndex(st.net),
+		// attrIdx reflects the session's own (possibly grown) network,
+		// not the store's base network.
+		cs: s.Concurrent(), attrIdx: attrIndex(s.Network()),
 		log: l, recs: recs, snapCount: min(int(snapSeq), len(recs)),
 	}
 	if dirty {
@@ -435,10 +445,79 @@ func toSaved(recs []wal.Record) []savedAssertion {
 	return out
 }
 
+// recordsToOps renders the unified record history as a Version 2
+// operation stream for replay.
+func recordsToOps(recs []wal.Record) []savedOp {
+	out := make([]savedOp, len(recs))
+	for i, r := range recs {
+		switch r.Kind {
+		case wal.KindAddSchema:
+			out[i] = savedOp{Kind: "add-schema", Schema: r.Schema, Attrs: r.Attrs}
+		case wal.KindAddCandidates:
+			cands := make([]savedCand, len(r.Cands))
+			for j, c := range r.Cands {
+				cands[j] = savedCand{From: c.From, To: c.To, Conf: c.Conf}
+			}
+			out[i] = savedOp{Kind: "add-candidates", Cands: cands}
+		case wal.KindRetire:
+			out[i] = savedOp{Kind: "retire", From: r.From, To: r.To}
+		default:
+			out[i] = savedOp{Kind: "assert", From: r.From, To: r.To, Approved: r.Approved, Annotator: r.Annotator}
+		}
+	}
+	return out
+}
+
+// opsToRecords inverts recordsToOps for a Version 2 snapshot's
+// operation stream, re-numbering from sequence 1.
+func opsToRecords(ops []savedOp) ([]wal.Record, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	out := make([]wal.Record, len(ops))
+	for i, op := range ops {
+		rec := wal.Record{Seq: uint64(i + 1)}
+		switch op.Kind {
+		case "assert":
+			rec.From, rec.To, rec.Approved, rec.Annotator = op.From, op.To, op.Approved, op.Annotator
+		case "add-schema":
+			rec.Kind, rec.Schema, rec.Attrs = wal.KindAddSchema, op.Schema, op.Attrs
+		case "add-candidates":
+			rec.Kind = wal.KindAddCandidates
+			rec.Cands = make([]wal.CandRecord, len(op.Cands))
+			for j, c := range op.Cands {
+				rec.Cands[j] = wal.CandRecord{From: c.From, To: c.To, Conf: c.Conf}
+			}
+		case "retire":
+			rec.Kind, rec.From, rec.To = wal.KindRetire, op.From, op.To
+		default:
+			return nil, fmt.Errorf("snapshot op %d: unknown kind %q", i, op.Kind)
+		}
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// hasTopology reports whether the history holds any topology record —
+// the trigger for Version 2 snapshots.
+func hasTopology(recs []wal.Record) bool {
+	for _, r := range recs {
+		if r.Kind != wal.KindAssert {
+			return true
+		}
+	}
+	return false
+}
+
 // record renders candidate c as the next WAL record and proves it will
 // resolve back on recovery (same guard Save applies).
 func (ls *liveSession) record(annotator string, c int, approved bool) (wal.Record, error) {
 	net := ls.cs.Network()
+	if net.Retired(c) {
+		// Checked before the resolve-back guard: a retired candidate no
+		// longer resolves by name at all.
+		return wal.Record{}, fmt.Errorf("schemanet: candidate %d: %w", c, ErrCandidateRetired)
+	}
 	cand := net.Candidate(c)
 	rec := wal.Record{
 		Seq:       uint64(len(ls.recs)) + 1,
@@ -542,6 +621,110 @@ func (ls *liveSession) assertBatch(annotator string, as []Assertion) error {
 	return nil
 }
 
+// appendTopo durably logs one already-applied topology record. The
+// mutation is live in memory either way; a failed append trips the
+// heal gate so the next successful compaction persists it.
+func (ls *liveSession) appendTopo(rec wal.Record) error {
+	ls.recs = append(ls.recs, rec)
+	if err := ls.log.Append(rec); err != nil {
+		ls.broken = true
+		return fmt.Errorf("schemanet: store: session %q: topology change applied but not durably logged (will persist via next successful compaction): %w",
+			ls.name, err)
+	}
+	ls.maybeCompactLocked()
+	return nil
+}
+
+// addSchema registers a new schema on the durable session: applied in
+// memory, then appended to the WAL as a KindAddSchema record.
+func (ls *liveSession) addSchema(name string, attrs []string) error {
+	ls.walMu.Lock()
+	defer ls.walMu.Unlock()
+	if ls.retired {
+		return ErrStoreClosed
+	}
+	if err := ls.healLocked(); err != nil {
+		return err
+	}
+	// Reject attribute names that would render ambiguously before
+	// anything is applied — recovery resolves by full name.
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if seen[a] {
+			return fmt.Errorf("schemanet: store: session %q: duplicate attribute name %q in new schema %q; refusing unrecoverable schema",
+				ls.name, a, name)
+		}
+		seen[a] = true
+	}
+	rec := wal.Record{
+		Seq: uint64(len(ls.recs)) + 1, Kind: wal.KindAddSchema,
+		Schema: name, Attrs: append([]string(nil), attrs...),
+	}
+	if err := ls.cs.AddSchema(name, attrs...); err != nil {
+		return err
+	}
+	ls.attrIdx = attrIndex(ls.cs.s.Network())
+	return ls.appendTopo(rec)
+}
+
+// addCandidates appends candidate correspondences to the durable
+// session: applied in memory, then logged as one KindAddCandidates
+// record (names resolve against the already-grown network).
+func (ls *liveSession) addCandidates(cs []Correspondence) error {
+	ls.walMu.Lock()
+	defer ls.walMu.Unlock()
+	if ls.retired {
+		return ErrStoreClosed
+	}
+	if err := ls.healLocked(); err != nil {
+		return err
+	}
+	rec := wal.Record{Seq: uint64(len(ls.recs)) + 1, Kind: wal.KindAddCandidates}
+	if err := ls.cs.AddCandidates(cs); err != nil {
+		return err
+	}
+	net := ls.cs.s.Network()
+	rec.Cands = make([]wal.CandRecord, len(cs))
+	for i, c := range cs {
+		cc := c.Canonical()
+		rec.Cands[i] = wal.CandRecord{From: net.FullName(cc.A), To: net.FullName(cc.B), Conf: cc.Confidence}
+	}
+	return ls.appendTopo(rec)
+}
+
+// retireCandidate withdraws candidate c from the durable session:
+// applied in memory, then logged as a KindRetire record. The pair names
+// are captured (and proven resolvable) before the tombstone lands.
+func (ls *liveSession) retireCandidate(c int) error {
+	ls.walMu.Lock()
+	defer ls.walMu.Unlock()
+	if ls.retired {
+		return ErrStoreClosed
+	}
+	if err := ls.healLocked(); err != nil {
+		return err
+	}
+	if err := ls.cs.s.checkCandidate(c); err != nil {
+		return err
+	}
+	net := ls.cs.s.Network()
+	cand := net.Candidate(c)
+	rec := wal.Record{
+		Seq: uint64(len(ls.recs)) + 1, Kind: wal.KindRetire,
+		From: net.FullName(cand.A), To: net.FullName(cand.B),
+	}
+	a, okA := ls.attrIdx[rec.From]
+	b, okB := ls.attrIdx[rec.To]
+	if !okA || !okB || net.CandidateIndex(a, b) != c {
+		return fmt.Errorf("schemanet: store: session %q: candidate %d (%s ↔ %s) does not resolve back by name (ambiguous attribute name); refusing unrecoverable retire",
+			ls.name, c, rec.From, rec.To)
+	}
+	if err := ls.cs.RetireCandidate(c); err != nil {
+		return err
+	}
+	return ls.appendTopo(rec)
+}
+
 func (ls *liveSession) maybeCompactLocked() {
 	if len(ls.recs)-ls.snapCount < ls.store.snapEvery {
 		return
@@ -564,8 +747,11 @@ func (ls *liveSession) compactLocked() error {
 	state := sessionState{
 		Version:    1,
 		Seq:        uint64(len(ls.recs)),
-		Candidates: st.net.NumCandidates(),
+		Candidates: ls.cs.s.Network().NumCandidates(),
 		History:    toSaved(ls.recs),
+	}
+	if hasTopology(ls.recs) {
+		state.Version, state.History, state.Ops = 2, nil, recordsToOps(ls.recs)
 	}
 	buf, err := marshalSessionState(state)
 	if err != nil {
@@ -636,8 +822,17 @@ type DurableSession struct {
 // Name returns the session's store name.
 func (ds *DurableSession) Name() string { return ds.name }
 
-// Network returns the store's network.
-func (ds *DurableSession) Network() *Network { return ds.store.net }
+// Network returns the session's network — the store's base network plus
+// any schemas and candidates this session added (each durable session
+// owns a private copy that its topology mutations grow).
+func (ds *DurableSession) Network() *Network {
+	net := ds.store.net
+	_ = ds.with(func(ls *liveSession) error {
+		net = ls.cs.Network()
+		return nil
+	})
+	return net
+}
 
 // with pins the session resident, runs fn, and releases.
 func (ds *DurableSession) with(fn func(*liveSession) error) error {
@@ -680,6 +875,27 @@ func (ds *DurableSession) AssertBatch(as []Assertion) error {
 // under the default "batch" policy.
 func (ds *DurableSession) AssertBatchAs(annotator string, as []Assertion) error {
 	return ds.with(func(ls *liveSession) error { return ls.assertBatch(annotator, as) })
+}
+
+// AddSchema registers a new schema on the durable session (see
+// Session.AddSchema): applied to the in-memory session, then appended
+// to the WAL as a topology record, so recovery re-grows the network at
+// exactly this point of the history.
+func (ds *DurableSession) AddSchema(name string, attrs ...string) error {
+	return ds.with(func(ls *liveSession) error { return ls.addSchema(name, attrs) })
+}
+
+// AddCandidates appends candidate correspondences to the durable
+// session (see Session.AddCandidates), durably logged as one topology
+// record.
+func (ds *DurableSession) AddCandidates(correspondences []Correspondence) error {
+	return ds.with(func(ls *liveSession) error { return ls.addCandidates(correspondences) })
+}
+
+// RetireCandidate withdraws candidate c from the durable session (see
+// Session.RetireCandidate), durably logged as a topology record.
+func (ds *DurableSession) RetireCandidate(c int) error {
+	return ds.with(func(ls *liveSession) error { return ls.retireCandidate(c) })
 }
 
 // Suggest returns the most informative unasserted candidate, from the

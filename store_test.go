@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -232,7 +233,7 @@ func TestStoreCrashAtEveryOp(t *testing.T) {
 			t.Fatalf("crash@%d: recovered %d records, more than ever asserted", k, len(hist))
 		}
 		for i, r := range hist {
-			if r != intended[i] {
+			if !reflect.DeepEqual(r, intended[i]) {
 				t.Fatalf("crash@%d: record %d = %+v, want %+v", k, i, r, intended[i])
 			}
 		}
@@ -652,5 +653,220 @@ func TestOpenStoreOptionValidation(t *testing.T) {
 	}
 	if _, err := schemanet.OpenStore("store", nil, &schemanet.StoreOptions{FS: fsys}); err == nil {
 		t.Error("nil network accepted")
+	}
+}
+
+// --- Topology crash sweep ---------------------------------------------
+
+// topoDriver abstracts the mutating surface shared by a plain Session
+// and a DurableSession, so the topology crash sweep can run one op
+// script against both (the durable store under fault injection, the
+// plain session as the bit-identical reference).
+type topoDriver interface {
+	assert(c int, ok bool) error
+	addSchema(name string, attrs ...string) error
+	addCandidates(cs []schemanet.Correspondence) error
+	retire(c int) error
+}
+
+type plainDriver struct{ s *schemanet.Session }
+
+func (d plainDriver) assert(c int, ok bool) error { return d.s.Assert(c, ok) }
+func (d plainDriver) addSchema(name string, attrs ...string) error {
+	return d.s.AddSchema(name, attrs...)
+}
+func (d plainDriver) addCandidates(cs []schemanet.Correspondence) error {
+	return d.s.AddCandidates(cs)
+}
+func (d plainDriver) retire(c int) error { return d.s.RetireCandidate(c) }
+
+type durableDriver struct{ ds *schemanet.DurableSession }
+
+func (d durableDriver) assert(c int, ok bool) error { return d.ds.AssertAs("ann", c, ok) }
+func (d durableDriver) addSchema(name string, attrs ...string) error {
+	return d.ds.AddSchema(name, attrs...)
+}
+func (d durableDriver) addCandidates(cs []schemanet.Correspondence) error {
+	return d.ds.AddCandidates(cs)
+}
+func (d durableDriver) retire(c int) error { return d.ds.RetireCandidate(c) }
+
+// topoOpStep is one op of the topology crash-sweep script plus its
+// effect on the observable state signature (schemas, candidates,
+// retired, history length) — the sweep uses the signature to identify
+// which op prefix a crash-recovered session corresponds to. History()
+// renders every WAL record, topology ops included, so dHist is 1 for
+// all op kinds and the history length alone pins the prefix.
+type topoOpStep struct {
+	run                               func(d topoDriver) error
+	dSchemas, dCands, dRetired, dHist int
+}
+
+// topoScenarioOps is the fixed grow/assert workload for the topology
+// crash sweep: assertions interleaved with an add-schema, an
+// add-candidates (whose new candidate is then asserted), and a retire,
+// so WAL topology records of every kind land between assertion
+// records. baseAttrs is the base network's attribute count (appended
+// attributes take the next IDs).
+func topoScenarioOps(baseAttrs, baseCands int) []topoOpStep {
+	newAttr := schemanet.AttrID(baseAttrs) // "live.x"
+	newCand := baseCands                   // index of the appended candidate
+	return []topoOpStep{
+		{run: func(d topoDriver) error { return d.assert(0, true) }, dHist: 1},
+		{run: func(d topoDriver) error { return d.addSchema("live", "x", "y") }, dSchemas: 1, dHist: 1},
+		{run: func(d topoDriver) error {
+			return d.addCandidates([]schemanet.Correspondence{{A: newAttr, B: 0, Confidence: 0.7}})
+		}, dCands: 1, dHist: 1},
+		{run: func(d topoDriver) error { return d.assert(1, false) }, dHist: 1},
+		{run: func(d topoDriver) error { return d.retire(2) }, dRetired: 1, dHist: 1},
+		{run: func(d topoDriver) error { return d.assert(newCand, true) }, dHist: 1},
+	}
+}
+
+// storeTopoScenario runs the grow/assert workload against a durable
+// store on fsys (SnapshotEvery 3 trips an auto-compaction mid-script,
+// so v2 snapshots with interleaved topology ops are exercised too) and
+// returns how many ops were acknowledged before the first failure.
+func storeTopoScenario(net *schemanet.Network, opts *schemanet.Options, fsys *wal.MemFS, logf func(string, ...any)) int {
+	st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{
+		Session: opts, FS: fsys, SnapshotEvery: 3, Logf: logf,
+	})
+	if err != nil {
+		return 0
+	}
+	defer st.Close()
+	ds, err := st.Session("alpha")
+	if err != nil {
+		return 0
+	}
+	d := durableDriver{ds}
+	ops := topoScenarioOps(net.NumAttributes(), net.NumCandidates())
+	for i, op := range ops {
+		if op.run(d) != nil {
+			return i
+		}
+	}
+	_ = ds.Compact() // exercise explicit compaction of topology records
+	return len(ops)
+}
+
+// TestStoreCrashAtEveryTopologyOp extends the crash sweep to network
+// growth: crash the filesystem at every mutating operation of a
+// workload that interleaves assertions with add-schema,
+// add-candidates, and retire; recovery must land on an exact op prefix
+// containing every acknowledged op, with probabilities bit-identical
+// to a plain session replaying that prefix — and the recovered session
+// must accept the rest of the workload and converge to the same final
+// state as a never-crashed run.
+func TestStoreCrashAtEveryTopologyOp(t *testing.T) {
+	net, _ := videoNet(t)
+	opts := &schemanet.Options{Exact: true, Seed: 9}
+	ops := topoScenarioOps(net.NumAttributes(), net.NumCandidates())
+
+	replay := func(p int) *schemanet.Session {
+		s, err := schemanet.NewSession(net, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := plainDriver{s}
+		for i := 0; i < p; i++ {
+			if err := ops[i].run(d); err != nil {
+				t.Fatalf("reference replay op %d: %v", i, err)
+			}
+		}
+		return s
+	}
+	sig := func(p int) [4]int {
+		s := [4]int{net.NumSchemas(), net.NumCandidates(), 0, 0}
+		for i := 0; i < p; i++ {
+			s[0] += ops[i].dSchemas
+			s[1] += ops[i].dCands
+			s[2] += ops[i].dRetired
+			s[3] += ops[i].dHist
+		}
+		return s
+	}
+	// Every prefix must have a distinct signature, or recovery points
+	// would be ambiguous and the sweep vacuous.
+	seen := map[[4]int]bool{}
+	for p := 0; p <= len(ops); p++ {
+		if seen[sig(p)] {
+			t.Fatalf("op script broken: prefix %d signature %v not unique", p, sig(p))
+		}
+		seen[sig(p)] = true
+	}
+
+	clean := wal.NewMemFS()
+	if got := storeTopoScenario(net, opts, clean, t.Logf); got != len(ops) {
+		t.Fatalf("uncrashed scenario acked %d ops, want %d", got, len(ops))
+	}
+	total := clean.Ops()
+	if total < 30 {
+		t.Fatalf("scenario runs only %d mutating fs ops; crash sweep would be trivial", total)
+	}
+	discard := func(string, ...any) {}
+
+	for k := 0; k < total; k++ {
+		fsys := wal.NewMemFS()
+		fsys.CrashAfterOps(k)
+		acked := storeTopoScenario(net, opts, fsys, discard)
+		if !fsys.Crashed() {
+			t.Fatalf("crash point %d/%d never hit", k, total)
+		}
+		fsys.Restart()
+
+		st, err := schemanet.OpenStore("store", net, &schemanet.StoreOptions{
+			Session: opts, FS: fsys, Logf: discard,
+		})
+		if err != nil {
+			t.Fatalf("crash@%d: reopening store: %v", k, err)
+		}
+		ds, err := st.Session("alpha")
+		if err != nil {
+			t.Fatalf("crash@%d: recovering session: %v", k, err)
+		}
+		rnet := ds.Network()
+		hist, err := ds.History()
+		if err != nil {
+			t.Fatalf("crash@%d: history: %v", k, err)
+		}
+		got := [4]int{rnet.NumSchemas(), rnet.NumCandidates(), rnet.NumRetired(), len(hist)}
+		p := -1
+		for q := 0; q <= len(ops); q++ {
+			if sig(q) == got {
+				p = q
+				break
+			}
+		}
+		if p < 0 {
+			t.Fatalf("crash@%d: recovered state %v matches no op prefix", k, got)
+		}
+		if p < acked {
+			t.Fatalf("crash@%d: LOST COMMITTED OPS: %d acknowledged, recovered at prefix %d", k, acked, p)
+		}
+		ref := replay(p)
+		for c := 0; c < rnet.NumCandidates(); c++ {
+			if gotP, want := mustProb(t, ds, c), mustProb(t, ref, c); gotP != want {
+				t.Fatalf("crash@%d: recovered p(%d) = %v, want %v (prefix %d)", k, c, gotP, want, p)
+			}
+		}
+		// The recovered session must take the rest of the workload and
+		// converge to the never-crashed final state.
+		d := durableDriver{ds}
+		for i := p; i < len(ops); i++ {
+			if err := ops[i].run(d); err != nil {
+				t.Fatalf("crash@%d: op %d on recovered session: %v", k, i, err)
+			}
+		}
+		full := replay(len(ops))
+		fnet := ds.Network()
+		for c := 0; c < fnet.NumCandidates(); c++ {
+			if gotP, want := mustProb(t, ds, c), mustProb(t, full, c); gotP != want {
+				t.Fatalf("crash@%d: final p(%d) = %v, want %v", k, c, gotP, want)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("crash@%d: closing recovered store: %v", k, err)
+		}
 	}
 }
