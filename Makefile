@@ -19,12 +19,21 @@ BENCHJSON ?=
 # fuzz knob: how long `make fuzz` mutates each target.
 FUZZTIME ?= 20s
 
-.PHONY: all vet build test bench bench-smoke bench-throughput race examples fuzz
+.PHONY: all vet lint build test bench bench-smoke bench-throughput race examples fuzz
 
-all: vet build test
+all: vet lint build test
 
 vet:
 	$(GO) vet ./...
+
+# Custom invariant analyzers (lockorder, determinism, snapshotsafe,
+# fsseam — see DESIGN.md, "Invariant enforcement"). Standalone mode
+# loads packages itself; the same binary also speaks the vet unit-
+# checker protocol, so editors and vet caching can drive it with
+#   go build -o bin/lint ./cmd/lint && go vet -vettool=$(PWD)/bin/lint ./...
+# List every justified suppression with `go run ./cmd/lint -suppressions`.
+lint:
+	$(GO) run ./cmd/lint ./...
 
 build:
 	$(GO) build ./...

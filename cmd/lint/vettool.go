@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"schemanet/internal/analysis"
+)
+
+// vetConfig is the unit-checker configuration `go vet` writes for each
+// package when invoked with -vettool (the same JSON x/tools'
+// unitchecker consumes). Imports come pre-compiled: ImportMap resolves
+// source import paths to canonical package paths and PackageFile maps
+// those to gc export data files, so no source type-checking of
+// dependencies is needed.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic matches the unitchecker output schema `go vet` parses
+// in -json mode.
+type jsonDiagnostic struct {
+	Category string `json:"category,omitempty"`
+	Posn     string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+// vettool runs one unit-checker invocation and returns the process
+// exit code: 0 on success (diagnostics included, in -json mode), 2 on
+// protocol or type-check failure, 1 when plain-mode diagnostics fire.
+func vettool(args []string) int {
+	jsonOut := false
+	cfgPath := ""
+	for _, arg := range args {
+		switch {
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		}
+	}
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The facts file must exist even though these analyzers export no
+	// facts: go vet caches on it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency scan for facts only; we have none
+	}
+
+	diags, fset, err := checkUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if jsonOut {
+		byAnalyzer := make(map[string][]jsonDiagnostic)
+		for _, d := range diags {
+			byAnalyzer[d.Category] = append(byAnalyzer[d.Category], jsonDiagnostic{
+				Posn:    fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiagnostic{cfg.ID: byAnalyzer}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(out)
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkUnit type-checks the unit from cfg using the pre-built export
+// data and runs the in-scope analyzers with the suppression layer.
+func checkUnit(cfg *vetConfig) ([]analysis.Diagnostic, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewTypesInfo()
+	tcfg := types.Config{Importer: imp}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %v", cfg.ImportPath, err)
+	}
+	pkg := &analysis.Package{
+		PkgPath: cfg.ImportPath, Dir: cfg.Dir, GoFiles: cfg.GoFiles,
+		Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
+	return diags, fset, err
+}

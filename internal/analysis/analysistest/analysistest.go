@@ -1,0 +1,221 @@
+// Package analysistest runs an analyzer against fixture packages under
+// a testdata/src tree and checks its diagnostics against `// want`
+// comments, mirroring the x/tools package of the same name:
+//
+//	m := map[string]int{}
+//	for k := range m { // want `map range in the deterministic core`
+//		_ = k
+//	}
+//
+// A want comment sits on the line the diagnostic must land on and
+// carries one quoted (or backquoted) regexp per expected diagnostic.
+// Fixture imports resolve first against the testdata/src tree itself
+// (so fixtures can declare their own stand-in for, say, package core)
+// and then against the standard library from source.
+//
+// The runner applies the same suppression layer as the real driver, so
+// fixtures exercise //lint:sorted and //lint:ignore end to end; the
+// analyzer's Match scoping, by contrast, is deliberately ignored —
+// fixtures live under synthetic import paths.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"schemanet/internal/analysis"
+)
+
+// Run loads each fixture package (a path under testdata/src) and
+// checks analyzer a's suppression-filtered diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		testdata: testdata,
+		fset:     fset,
+		cache:    make(map[string]*analysis.Package),
+		std:      importer.ForCompiler(fset, "source", nil),
+	}
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags := runOne(t, a, pkg)
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report: func(d analysis.Diagnostic) {
+			if d.Category == "" {
+				d.Category = a.Name
+			}
+			diags = append(diags, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+	}
+	sups, supDiags := analysis.ParseSuppressions(pkg.Fset, pkg.Files)
+	diags = analysis.Filter(pkg.Fset, diags, sups)
+	return append(diags, supDiags...)
+}
+
+// expectation is one parsed want regexp.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, pkg.Fset, c)...)
+			}
+		}
+	}
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		var found bool
+		for _, w := range wants {
+			if !w.matched && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", p, d.Category, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// wantRE captures the payload of a want comment; payload strings are
+// extracted by quoteRE ("..." with escapes, or `...`).
+var (
+	wantRE  = regexp.MustCompile(`//\s*want\s+(.*)`)
+	quoteRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var out []*expectation
+	for _, q := range quoteRE.FindAllString(m[1], -1) {
+		var pat string
+		if strings.HasPrefix(q, "`") {
+			pat = strings.Trim(q, "`")
+		} else {
+			var err error
+			if pat, err = strconv.Unquote(q); err != nil {
+				t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: want pattern %q: %v", pos, pat, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no quoted pattern", pos)
+	}
+	return out
+}
+
+// fixtureLoader type-checks fixture packages, resolving imports inside
+// the testdata/src tree before falling back to the standard library.
+type fixtureLoader struct {
+	testdata string
+	fset     *token.FileSet
+	cache    map[string]*analysis.Package
+	std      types.Importer
+}
+
+func (ld *fixtureLoader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fname := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(ld.fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, fname)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no .go files in %s", path, dir)
+	}
+	info := analysis.NewTypesInfo()
+	cfg := types.Config{Importer: ld}
+	tpkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	pkg := &analysis.Package{
+		PkgPath: path, Dir: dir, GoFiles: names,
+		Fset: ld.fset, Files: files, Types: tpkg, TypesInfo: info,
+	}
+	ld.cache[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer for fixture type-checking.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(ld.testdata, "src", filepath.FromSlash(path))); err == nil && st.IsDir() {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}

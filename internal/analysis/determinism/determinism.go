@@ -1,0 +1,129 @@
+// Package determinism enforces the bit-reproducibility contract of the
+// deterministic core: recovery replays, differential tests, and the
+// concurrent session's "bit-identical to serial" guarantee all assume
+// that the same inputs produce the same bytes. Three bug classes break
+// that silently, and each has bitten this repo or its ancestors:
+//
+//   - wall-clock reads (time.Now and friends) leaking into computed
+//     state;
+//   - the global math/rand stream (process-wide, seeded who-knows-when)
+//     instead of the session's content-derived *rand.Rand streams;
+//   - map iteration order reaching ordered or seeded output — the exact
+//     PR 1 TF-IDF bug, where float summation in map order drifted by an
+//     ulp between runs and flipped threshold candidates.
+//
+// Map ranges whose fold is genuinely order-insensitive (or immediately
+// sorted) are escaped with `//lint:sorted <justification>`; the
+// justification is mandatory and audited via cmd/lint -suppressions.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"schemanet/internal/analysis"
+)
+
+// Scope is the deterministic core: every package whose outputs must be
+// a pure function of (inputs, seed). The serving layer (root package,
+// store) and the offline tooling (cmd/*) are deliberately outside —
+// wall-clock logging and OS access are their job.
+var Scope = []string{
+	"schemanet/internal/core",
+	"schemanet/internal/constraints",
+	"schemanet/internal/sampling",
+	"schemanet/internal/schema",
+	"schemanet/internal/instantiate",
+	// The first-line matcher stack feeds candidate confidences (and
+	// therefore seeds and rankings); PR 1's nondeterminism lived here.
+	"schemanet/internal/similarity",
+	"schemanet/internal/matcher",
+	// Offline experiment outputs are diffed across runs and machines.
+	"schemanet/internal/eval",
+	"schemanet/internal/chart",
+	"schemanet/internal/graphs",
+	"schemanet/internal/datagen",
+	"schemanet/internal/experiments",
+	"schemanet/internal/bitset",
+	"schemanet/internal/oracle",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbids wall-clock reads, the global math/rand stream, and map ranges " +
+		"(nondeterministic iteration order) in the deterministic core; escape a " +
+		"provably order-insensitive map range with //lint:sorted <justification>",
+	Match: func(pkgPath string) bool {
+		for _, p := range Scope {
+			if pkgPath == p {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+// deniedRand are the math/rand package-level functions that consume the
+// shared global stream. Constructors (New, NewSource, NewZipf) and the
+// Rand/Source types stay legal: deterministic code builds its own
+// streams from content-derived seeds.
+var deniedRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+// deniedTime are the time package functions whose results depend on
+// when the code runs.
+var deniedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkg, ok := packageOf(pass, n.X)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkg == "time" && deniedTime[n.Sel.Name]:
+					pass.Reportf(n.Pos(), "time.%s in the deterministic core: outputs must be a pure function of (inputs, seed), not of when they run", n.Sel.Name)
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && deniedRand[n.Sel.Name]:
+					pass.Reportf(n.Pos(), "global math/rand.%s in the deterministic core: draw from the session's content-seeded *rand.Rand stream instead", n.Sel.Name)
+				}
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map range in the deterministic core: iteration order can differ between runs; collect and sort the keys, or mark an order-insensitive fold with //lint:sorted <justification>")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageOf resolves e to an imported package name, reporting its path.
+func packageOf(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,112 @@
+// Package fsseam enforces the wal.FS fault-injection seam: every
+// filesystem operation on the durable path (the session store, the
+// session codec, and the WAL itself) must go through a wal.FS value so
+// the crash tests — which inject a failure between every two
+// filesystem operations — exercise the same code the real filesystem
+// runs. One direct os call is one operation the crash matrix silently
+// never covers, and "no acknowledged assertion is ever lost" stops
+// being a tested property.
+//
+// The analyzer flags any use of the os package in the durable-path
+// files except:
+//
+//   - inside a method of the real implementation (the type named osFS)
+//     — that is the one place the seam touches the OS by design;
+//   - error predicates and sentinels (os.IsNotExist and friends),
+//     which classify errors rather than perform I/O.
+package fsseam
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"schemanet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fsseam",
+	Doc: "forbids direct os filesystem access in the durable path (store.go, " +
+		"session_io.go, internal/wal) outside the real wal.FS implementation, so " +
+		"crash-at-every-op fault injection covers every durable I/O",
+	Match: func(pkgPath string) bool {
+		return pkgPath == "schemanet" || strings.HasSuffix(pkgPath, "internal/wal")
+	},
+	Run: run,
+}
+
+// durableRootFiles are the root-package files on the durable path. The
+// rest of the root package (matching, sessions, benchmarks) never
+// touches disk; cmd/* tools touch it deliberately and are out of scope.
+var durableRootFiles = map[string]bool{
+	"store.go":      true,
+	"session_io.go": true,
+}
+
+// allowedOS are the os-package members that classify errors or carry
+// types, not perform I/O. Everything else — Open, Create, Rename,
+// Remove, WriteFile, O_* flags in an OpenFile call, ... — is flagged.
+var allowedOS = map[string]bool{
+	"IsNotExist": true, "IsExist": true, "IsPermission": true, "IsTimeout": true,
+	"ErrNotExist": true, "ErrExist": true, "ErrClosed": true, "ErrPermission": true,
+	"ErrInvalid": true, "ErrDeadlineExceeded": true,
+	"PathError": true, "LinkError": true, "SyscallError": true,
+	"FileInfo": true, "FileMode": true, "DirEntry": true, "File": true,
+}
+
+func run(pass *analysis.Pass) error {
+	walPkg := pass.Pkg.Name() == "wal"
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !walPkg && !durableRootFiles[name] {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+// checkFile walks one durable-path file, tracking the enclosing
+// function declaration so osFS methods stay exempt.
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, isFunc := decl.(*ast.FuncDecl)
+		if isFunc && isOSFSMethod(fd) {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "os" {
+				return true
+			}
+			if allowedOS[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "direct os.%s on the durable path bypasses the wal.FS fault-injection seam; route it through the store's FS", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isOSFSMethod reports whether fd is a method of the real-filesystem
+// implementation, the one type allowed to touch the os package.
+func isOSFSMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "osFS"
+}

@@ -1,0 +1,24 @@
+package fsseam
+
+import (
+	"testing"
+
+	"schemanet/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "fsseam/wal", "fsseam/store")
+}
+
+func TestScope(t *testing.T) {
+	for _, p := range []string{"schemanet", "schemanet/internal/wal"} {
+		if !Analyzer.Match(p) {
+			t.Errorf("Match(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"schemanet/internal/core", "schemanet/cmd/datagen"} {
+		if Analyzer.Match(p) {
+			t.Errorf("Match(%q) = true, want false", p)
+		}
+	}
+}

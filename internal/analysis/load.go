@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	GoFiles   []string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir) with
+// `go list -json -deps` and type-checks the in-module ones from source,
+// in dependency order. Standard-library imports are resolved by the
+// stdlib source importer, so loading works without a module proxy or
+// pre-built export data. Test files are not loaded: the invariants
+// bind production code; tests are free to range maps and stub clocks.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	var metas []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		m := new(listedPackage)
+		if err := dec.Decode(m); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		checked: make(map[string]*types.Package),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	var pkgs []*Package
+	// -deps emits dependencies before dependents, so every in-module
+	// import of a later package is already in imp.checked.
+	for _, m := range metas {
+		if m.Standard || m.Module == nil {
+			continue // stdlib: the source importer loads it on demand
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("analysis: package %s: %s", m.ImportPath, m.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, m)
+		if err != nil {
+			return nil, err
+		}
+		imp.checked[m.ImportPath] = pkg.Types
+		if !m.DepOnly {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, m *listedPackage) (*Package, error) {
+	var files []*ast.File
+	var paths []string
+	for _, name := range m.GoFiles {
+		path := filepath.Join(m.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	info := NewTypesInfo()
+	var typeErrs []error
+	cfg := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := cfg.Check(m.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", m.ImportPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", m.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   m.ImportPath,
+		Dir:       m.Dir,
+		GoFiles:   paths,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// NewTypesInfo allocates the types.Info maps the analyzers rely on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// moduleImporter resolves in-module imports from the already-checked
+// set and everything else (the standard library) from source.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	std     types.Importer
+}
+
+func (i *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.checked[path]; ok {
+		return p, nil
+	}
+	return i.std.Import(path)
+}

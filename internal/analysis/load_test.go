@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// TestLoadModulePackage proves the go-list loader type-checks an
+// in-module package (with stdlib imports resolved from source) well
+// enough for the analyzers: files parsed with comments, a named type
+// resolvable, selections populated.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := Load("../..", "schemanet/internal/wal")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "schemanet/internal/wal" {
+		t.Fatalf("PkgPath = %q", pkg.PkgPath)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	obj := pkg.Types.Scope().Lookup("FS")
+	if obj == nil {
+		t.Fatal("type FS not found in package scope")
+	}
+	if _, ok := obj.Type().Underlying().(*types.Interface); !ok {
+		t.Fatalf("FS is %T, want interface", obj.Type().Underlying())
+	}
+	// Comments must survive parsing: the suppression layer reads them.
+	hasDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			hasDoc = true
+		}
+		ast.Inspect(f, func(ast.Node) bool { return true })
+	}
+	if !hasDoc {
+		t.Fatal("no package doc comment retained; ParseComments not in effect")
+	}
+}
+
+// TestLoadDependents proves dependency order: a package that imports
+// other in-module packages loads with those imports resolved.
+func TestLoadDependents(t *testing.T) {
+	pkgs, err := Load("../..", "schemanet/internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pkg := pkgs[0]
+	if pkg.Types.Scope().Lookup("ComponentSnapshot") == nil {
+		t.Fatal("ComponentSnapshot not found in core scope")
+	}
+	if len(pkg.TypesInfo.Selections) == 0 {
+		t.Fatal("no selections recorded")
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// RunAnalyzers applies every in-scope analyzer to every package,
+// filters the results through the suppression layer, and returns the
+// surviving diagnostics in file/line order (malformed suppression
+// directives are appended as "lintdirective" diagnostics). Analyzer
+// errors are framework failures, not findings, and abort the run.
+//
+// Test files are excluded before analyzers run: the invariants guard
+// production behavior, and tests legitimately range over maps, stub
+// the clock, or poke snapshots. The standalone loader never parses
+// them, but `go vet -vettool` hands us units that include _test.go
+// files, so the exclusion lives here where both entry points share it.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		files := make([]*ast.File, 0, len(pkg.Files))
+		for _, f := range pkg.Files {
+			if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				files = append(files, f)
+			}
+		}
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				if d.Category == "" {
+					d.Category = a.Name
+				}
+				pkgDiags = append(pkgDiags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		sups, supDiags := ParseSuppressions(pkg.Fset, files)
+		pkgDiags = Filter(pkg.Fset, pkgDiags, sups)
+		diags = append(diags, pkgDiags...)
+		diags = append(diags, supDiags...)
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return pi.Column < pj.Column
+		})
+	}
+	return diags, nil
+}

@@ -1,0 +1,131 @@
+// Package snapshotsafe enforces the immutability of published
+// core.ComponentSnapshot values. The concurrent serving layer publishes
+// one snapshot per component through an atomic pointer, and readers —
+// Probability, Uncertainty, Suggest — load the pointer and read the
+// fields with no lock and no happens-before edge beyond the pointer
+// load itself. Any write to a snapshot after publication is therefore a
+// data race that the race detector only catches if a test happens to
+// interleave it, and a correctness bug (torn reads of the probs slice)
+// even when it doesn't.
+//
+// The analyzer makes the contract structural: ComponentSnapshot fields
+// may be written (including writes through them, like probs[j] = x)
+// only in the file that declares the type — the constructor. Everything
+// else, in package core or out of it, must build a fresh snapshot and
+// republish the pointer.
+package snapshotsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"schemanet/internal/analysis"
+)
+
+// snapshotType names the protected type. Fixtures declare their own
+// core.ComponentSnapshot; matching by (package name, type name) keeps
+// the analyzer honest on both.
+const (
+	snapshotPkg  = "core"
+	snapshotType = "ComponentSnapshot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotsafe",
+	Doc: "forbids writes to core.ComponentSnapshot fields outside the file that " +
+		"declares the type: published snapshots are read lock-free, so mutation " +
+		"after construction is a data race",
+	// The fields are unexported, so only package core can violate the
+	// contract — but running everywhere costs nothing and catches a
+	// future export.
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	declFile := declaringFile(pass)
+	for _, f := range pass.Files {
+		if f == declFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X)
+			case *ast.UnaryExpr:
+				// &snap.field hands out a mutable alias to frozen data.
+				if n.Op == token.AND {
+					if sel, field, ok := snapshotField(pass, n.X); ok {
+						pass.Reportf(sel.Pos(), "address of %s.%s taken outside the constructor: published snapshots are immutable; the alias enables a racy write", snapshotType, field)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWrite flags lhs when it writes a snapshot field, directly
+// (snap.f = x, snap.f += x) or through it (snap.f[i] = x).
+func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+	// Peel index/slice layers: writing an element of a field slice
+	// mutates the snapshot's reachable state just the same.
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		}
+		break
+	}
+	if sel, field, ok := snapshotField(pass, lhs); ok {
+		pass.Reportf(sel.Pos(), "%s.%s written outside the constructor: published snapshots are read lock-free; build a fresh snapshot and republish the atomic pointer", snapshotType, field)
+	}
+}
+
+// snapshotField reports whether e selects a field of ComponentSnapshot.
+func snapshotField(pass *analysis.Pass, e ast.Expr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != snapshotType || obj.Pkg() == nil || obj.Pkg().Name() != snapshotPkg {
+		return nil, "", false
+	}
+	return sel, s.Obj().Name(), true
+}
+
+// declaringFile returns the file that declares ComponentSnapshot in
+// this package (nil when the package doesn't declare it). Writes there
+// are the constructor's prerogative.
+func declaringFile(pass *analysis.Pass) *ast.File {
+	if pass.Pkg.Name() != snapshotPkg {
+		return nil
+	}
+	obj := pass.Pkg.Scope().Lookup(snapshotType)
+	if obj == nil {
+		return nil
+	}
+	return analysis.FileOf(pass.Files, obj.Pos())
+}

@@ -1,0 +1,11 @@
+package snapshotsafe
+
+import (
+	"testing"
+
+	"schemanet/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "snapshotsafe/core")
+}

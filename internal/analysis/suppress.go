@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression layer. A diagnostic can be silenced in place with a
+// line comment, and every suppression must carry a justification —
+// cmd/lint -suppressions lists them all for re-audit:
+//
+//	//lint:ignore <analyzer> <justification>
+//	//lint:sorted <justification>
+//
+// //lint:sorted is the determinism analyzer's dedicated escape hatch
+// for map ranges whose fold is order-insensitive or followed by a
+// sort; it is shorthand for "ignore determinism". A directive applies
+// to diagnostics on its own line (trailing form) and on the line
+// directly below it (preceding-line form).
+
+// Suppression is one parsed //lint: directive.
+type Suppression struct {
+	File     string
+	Line     int // line the directive sits on
+	Analyzer string
+	// Justification is the free-text reason; directives without one
+	// are themselves diagnosed and suppress nothing.
+	Justification string
+}
+
+// knownAnalyzers validates the <analyzer> operand of //lint:ignore.
+// "lintdirective" is the framework's own category (malformed
+// directives) and cannot be suppressed.
+var knownAnalyzers = map[string]bool{
+	"lockorder":    true,
+	"determinism":  true,
+	"snapshotsafe": true,
+	"fsseam":       true,
+}
+
+// ParseSuppressions extracts the //lint: directives from files,
+// reporting malformed ones (unknown analyzer, missing justification)
+// as "lintdirective" diagnostics.
+func ParseSuppressions(fset *token.FileSet, files []*ast.File) ([]Suppression, []Diagnostic) {
+	var sups []Suppression
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				verb, arg, _ := strings.Cut(rest, " ")
+				arg = strings.TrimSpace(arg)
+				var s Suppression
+				switch verb {
+				case "sorted":
+					s = Suppression{Analyzer: "determinism", Justification: arg}
+				case "ignore":
+					name, just, _ := strings.Cut(arg, " ")
+					if !knownAnalyzers[name] {
+						diags = append(diags, Diagnostic{Pos: c.Pos(), Category: "lintdirective",
+							Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q", name)})
+						continue
+					}
+					s = Suppression{Analyzer: name, Justification: strings.TrimSpace(just)}
+				default:
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Category: "lintdirective",
+						Message: fmt.Sprintf("unknown //lint: directive %q (want \"ignore\" or \"sorted\")", verb)})
+					continue
+				}
+				if s.Justification == "" {
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Category: "lintdirective",
+						Message: "//lint:" + verb + " requires a justification (it is listed by cmd/lint -suppressions for re-audit)"})
+					continue
+				}
+				s.File, s.Line = pos.Filename, pos.Line
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups, diags
+}
+
+// Filter drops the diagnostics covered by a suppression: same file,
+// same analyzer, on the directive's line or the one below it.
+func Filter(fset *token.FileSet, diags []Diagnostic, sups []Suppression) []Diagnostic {
+	if len(sups) == 0 {
+		return diags
+	}
+	covered := make(map[string]bool, 2*len(sups))
+	for _, s := range sups {
+		covered[supKey(s.Analyzer, s.File, s.Line)] = true
+		covered[supKey(s.Analyzer, s.File, s.Line+1)] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if covered[supKey(d.Category, p.Filename, p.Line)] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func supKey(analyzer, file string, line int) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", analyzer, file, line)
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseSuppressions(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//lint:sorted order-insensitive count
+var a int
+
+//lint:ignore fsseam tool writes debug output deliberately
+var b int
+`)
+	sups, diags := ParseSuppressions(fset, files)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(sups))
+	}
+	if sups[0].Analyzer != "determinism" || sups[0].Justification != "order-insensitive count" {
+		t.Errorf("sorted directive parsed as %+v", sups[0])
+	}
+	if sups[1].Analyzer != "fsseam" || !strings.HasPrefix(sups[1].Justification, "tool writes") {
+		t.Errorf("ignore directive parsed as %+v", sups[1])
+	}
+}
+
+func TestMalformedSuppressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"package p\n\n//lint:sorted\nvar a int\n", "requires a justification"},
+		{"package p\n\n//lint:ignore determinism\nvar a int\n", "requires a justification"},
+		{"package p\n\n//lint:ignore nosuch because\nvar a int\n", "unknown analyzer"},
+		{"package p\n\n//lint:disable determinism x\nvar a int\n", "unknown //lint: directive"},
+	}
+	for _, c := range cases {
+		fset, files := parseOne(t, c.src)
+		sups, diags := ParseSuppressions(fset, files)
+		if len(sups) != 0 {
+			t.Errorf("%q: malformed directive produced a live suppression %+v", c.src, sups)
+		}
+		if len(diags) != 1 || !strings.Contains(diags[0].Message, c.want) {
+			t.Errorf("%q: diagnostics %v, want one containing %q", c.src, diags, c.want)
+		}
+	}
+}
+
+func TestFilterCoverage(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//lint:ignore determinism covers this line and the next
+var a int
+var b int
+`)
+	sups, _ := ParseSuppressions(fset, files)
+	f := fset.File(files[0].Pos())
+	diagAt := func(line int, category string) Diagnostic {
+		return Diagnostic{Pos: f.LineStart(line), Category: category, Message: "m"}
+	}
+	// Line 3 is the directive, line 4 covered, line 5 not; other
+	// analyzers never covered.
+	kept := Filter(fset, []Diagnostic{
+		diagAt(3, "determinism"),
+		diagAt(4, "determinism"),
+		diagAt(5, "determinism"),
+		diagAt(4, "fsseam"),
+	}, sups)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	p0 := fset.Position(kept[0].Pos)
+	if kept[0].Category != "determinism" || p0.Line != 5 {
+		t.Errorf("kept[0] = %s at line %d", kept[0].Category, p0.Line)
+	}
+	if kept[1].Category != "fsseam" {
+		t.Errorf("kept[1] = %s, want fsseam (wrong-analyzer suppression must not apply)", kept[1].Category)
+	}
+}

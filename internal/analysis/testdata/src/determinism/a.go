@@ -1,0 +1,97 @@
+// Package determfix seeds the violations the determinism analyzer must
+// flag and the escapes it must honor.
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the clock into computed state.
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now in the deterministic core`
+	return t.UnixNano()
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since in the deterministic core`
+}
+
+// globalRand consumes the process-wide stream.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn in the deterministic core`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+// seededStream is the blessed pattern: a content-seeded private stream.
+func seededStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// tfidfWeights reintroduces the PR 1 TF-IDF bug: float accumulation in
+// map iteration order drifts by an ulp between runs, enough to flip a
+// candidate sitting exactly on a selector threshold.
+func tfidfWeights(tf map[string]int, idf func(string) float64) ([]float64, float64) {
+	var w []float64
+	n := 0.0
+	for t, cnt := range tf { // want `map range in the deterministic core`
+		x := float64(cnt) * idf(t)
+		w = append(w, x)
+		n += x * x
+	}
+	return w, n
+}
+
+// collectAndSort is the fixed form of the same code: keys are gathered
+// (order-insensitively) and sorted before any float touches them.
+func collectAndSort(tf map[string]int, idf func(string) float64) ([]float64, float64) {
+	toks := make([]string, 0, len(tf))
+	//lint:sorted key collection only; sorted before weights accumulate
+	for t := range tf {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	w := make([]float64, len(toks))
+	n := 0.0
+	for i, t := range toks {
+		x := float64(tf[t]) * idf(t)
+		w[i] = x
+		n += x * x
+	}
+	return w, n
+}
+
+// trailingEscape exercises the same-line (trailing) directive form.
+func trailingEscape(seen map[int]bool) int {
+	count := 0
+	for range seen { //lint:sorted order-insensitive integer count
+		count++
+	}
+	return count
+}
+
+// tooFar shows that a directive covers only its own line and the next
+// one: two lines of distance and the range is flagged again.
+func tooFar(m map[int]int) int {
+	s := 0
+	//lint:sorted placed too far above to cover the range statement
+	_ = s
+	for _, v := range m { // want `map range in the deterministic core`
+		s += v
+	}
+	return s
+}
+
+// sliceRange must stay silent: slices iterate in index order.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

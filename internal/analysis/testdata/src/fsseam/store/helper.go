@@ -1,0 +1,10 @@
+package store
+
+import "os"
+
+// dumpDebug is off the durable path (not store.go/session_io.go):
+// direct os access here is a cmd-tool-style convenience, not a seam
+// bypass. Silent.
+func dumpDebug(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,26 @@
+// Package wal stands in for schemanet/internal/wal: in a package named
+// wal every file is on the durable path, and only the real-FS
+// implementation (methods of osFS) may touch the os package.
+package wal
+
+import "os"
+
+// File mirrors the seam's writable handle.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type osFS struct{}
+
+// Create is the real implementation: direct os access is its job.
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (fs *osFS) rename(oldname, newname string) error {
+	return os.Rename(oldname, newname)
+}

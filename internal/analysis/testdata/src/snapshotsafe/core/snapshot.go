@@ -1,0 +1,32 @@
+// Package core stands in for schemanet/internal/core: the analyzer
+// matches the ComponentSnapshot type by (package name, type name), so
+// this fixture declares the same shape. This file is the declaring
+// file — its writes are the constructor's and must stay silent.
+package core
+
+// ComponentSnapshot mirrors the real immutable published snapshot.
+type ComponentSnapshot struct {
+	probs    []float64
+	entropy  float64
+	best     []int
+	bestGain float64
+	ranked   bool
+}
+
+func (s *ComponentSnapshot) Entropy() float64 { return s.entropy }
+
+// newSnapshot is the constructor: every field write here is legal.
+func newSnapshot(probs []float64, entropy float64) *ComponentSnapshot {
+	snap := &ComponentSnapshot{bestGain: -1}
+	snap.entropy = entropy
+	snap.probs = make([]float64, len(probs))
+	for i, p := range probs {
+		snap.probs[i] = p
+		if p > snap.bestGain {
+			snap.bestGain = p
+			snap.best = append(snap.best[:0], i)
+		}
+	}
+	snap.ranked = true
+	return snap
+}

@@ -104,6 +104,7 @@ func (e *Engine) Grow(oldN int) {
 			})
 		}
 	}
+	//lint:sorted addPair/addExtraPair are commutative set inserts; the fold is order-insensitive
 	for k, m := range declared {
 		a, b := k[0], k[1]
 		e.addPair(a, b, n)
@@ -393,6 +394,7 @@ func (e *Engine) retirePartition(c int) {
 			newComps = append(newComps, comp)
 		}
 	}
+	//lint:sorted groups are sorted by leader immediately below, before any consumer sees them
 	for _, grp := range groups {
 		newComps = append(newComps, grp)
 	}

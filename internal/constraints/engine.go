@@ -474,6 +474,7 @@ func (e *Engine) repairInterpreted(inst *bitset.Set, added int, approved *bitset
 		// Deterministic tie-break on the smallest index keeps the repair
 		// reproducible under a fixed seed.
 		keys := make([]int, 0, len(counts))
+		//lint:sorted keys are collected and sorted (sort.Ints below) before the deterministic scan
 		for ci := range counts {
 			keys = append(keys, ci)
 		}

@@ -1,6 +1,8 @@
 package constraints
 
 import (
+	"sort"
+
 	"schemanet/internal/bitset"
 	"schemanet/internal/schema"
 )
@@ -19,8 +21,11 @@ const KindMutex = "mutual-exclusion"
 // different concepts". It is not part of the paper's Γ.
 type MutualExclusion struct {
 	net *schema.Network
-	// exclusive maps attribute → set of attributes it excludes.
-	exclusive map[schema.AttrID]map[schema.AttrID]bool
+	// exclusive maps attribute → the attributes it excludes, sorted
+	// ascending and deduplicated, so every scan over a partner set —
+	// and therefore the order of ConflictsWith and Violations — is
+	// deterministic regardless of declaration order.
+	exclusive map[schema.AttrID][]schema.AttrID
 }
 
 // NewMutualExclusion builds the constraint from exclusive attribute
@@ -28,17 +33,29 @@ type MutualExclusion struct {
 func NewMutualExclusion(net *schema.Network, pairs [][2]schema.AttrID) *MutualExclusion {
 	m := &MutualExclusion{
 		net:       net,
-		exclusive: make(map[schema.AttrID]map[schema.AttrID]bool),
+		exclusive: make(map[schema.AttrID][]schema.AttrID),
 	}
+	var keys []schema.AttrID
 	add := func(a, b schema.AttrID) {
-		if m.exclusive[a] == nil {
-			m.exclusive[a] = make(map[schema.AttrID]bool)
+		if _, ok := m.exclusive[a]; !ok {
+			keys = append(keys, a)
 		}
-		m.exclusive[a][b] = true
+		m.exclusive[a] = append(m.exclusive[a], b)
 	}
 	for _, p := range pairs {
 		add(p[0], p[1])
 		add(p[1], p[0])
+	}
+	for _, a := range keys {
+		excl := m.exclusive[a]
+		sort.Slice(excl, func(i, j int) bool { return excl[i] < excl[j] })
+		dedup := excl[:1]
+		for _, b := range excl[1:] {
+			if b != dedup[len(dedup)-1] {
+				dedup = append(dedup, b)
+			}
+		}
+		m.exclusive[a] = dedup
 	}
 	return m
 }
@@ -65,7 +82,7 @@ func (m *MutualExclusion) CompileFrom(oldN int) Compiled {
 		}
 		cand := m.net.Candidate(c)
 		for _, a := range [2]schema.AttrID{cand.A, cand.B} {
-			for b := range m.exclusive[a] {
+			for _, b := range m.exclusive[a] {
 				for _, d := range m.net.CandidatesOf(b) {
 					if d == c {
 						continue
@@ -88,10 +105,10 @@ func (m *MutualExclusion) conflictPartners(inst *bitset.Set, c int, fn func(d in
 	cand := m.net.Candidate(c)
 	for _, a := range [2]schema.AttrID{cand.A, cand.B} {
 		excl := m.exclusive[a]
-		if excl == nil {
+		if len(excl) == 0 {
 			continue
 		}
-		for b := range excl {
+		for _, b := range excl {
 			for _, d := range m.net.CandidatesOf(b) {
 				if d == c || !inst.Has(d) {
 					continue

@@ -106,6 +106,57 @@ func TestMutualExclusionRepair(t *testing.T) {
 	}
 }
 
+// TestMutualExclusionDeterministicOrder pins the violation order: with
+// the exclusion sets held in maps, ConflictsWith and Violations came
+// back in map-iteration order, which differs between runs. The sorted
+// partner representation must yield ascending-candidate order no matter
+// how the pairs were declared.
+func TestMutualExclusionDeterministicOrder(t *testing.T) {
+	b := schema.NewBuilder()
+	b.AddSchema("left", "a0", "a1", "a2", "a3", "a4", "a5", "a6") // attrs 0..6
+	b.AddSchema("right", "z")                                     // attr 7
+	b.ConnectAll()
+	for a := schema.AttrID(0); a < 7; a++ {
+		b.AddCorrespondence(a, 7, 0.5)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a0 excludes a1..a6, declared shuffled and with duplicates.
+	pairs := [][2]schema.AttrID{{4, 0}, {0, 2}, {6, 0}, {0, 1}, {3, 0}, {0, 5}, {0, 1}, {2, 0}}
+	m := NewMutualExclusion(net, pairs)
+
+	c := make([]int, 7)
+	for a := 0; a < 7; a++ {
+		c[a] = net.CandidateIndex(schema.AttrID(a), 7)
+	}
+	full := NewEngine(net, m).FullInstance()
+
+	var want []Violation
+	for a := 1; a <= 6; a++ {
+		want = append(want, newViolation(KindMutex, c[0], c[a]))
+	}
+	got := m.ConflictsWith(full, c[0])
+	if len(got) != len(want) {
+		t.Fatalf("ConflictsWith returned %d violations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Cands[0] != want[i].Cands[0] || got[i].Cands[1] != want[i].Cands[1] {
+			t.Fatalf("ConflictsWith[%d] = %v, want %v (order must be deterministic)", i, got[i], want[i])
+		}
+	}
+	viols := m.Violations(full)
+	if len(viols) != len(want) {
+		t.Fatalf("Violations returned %d, want %d", len(viols), len(want))
+	}
+	for i := range want {
+		if viols[i].Cands[0] != want[i].Cands[0] || viols[i].Cands[1] != want[i].Cands[1] {
+			t.Fatalf("Violations[%d] = %v, want %v (order must be deterministic)", i, viols[i], want[i])
+		}
+	}
+}
+
 func TestMutualExclusionNoPairsIsNeutral(t *testing.T) {
 	net, _ := mutexNet(t)
 	m := NewMutualExclusion(net, nil)

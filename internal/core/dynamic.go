@@ -192,6 +192,7 @@ func (p *PMN) TopologyChanged(oldN, retiredCand int) (map[int]int, error) {
 	p.gainsStale = newStale
 
 	carriedOld := make(map[int]bool, len(carried))
+	//lint:sorted builds a membership set; insertion order cannot affect it
 	for _, k0 := range carried {
 		carriedOld[k0] = true
 	}

@@ -226,6 +226,7 @@ func pickEligible(tokens []string, rng *rand.Rand, ok func(string) bool) int {
 // key/value pairs (map iteration order must not leak into generation).
 func abbrevList(m map[string]string) [][2]string {
 	out := make([][2]string, 0, len(m))
+	//lint:sorted pairs are collected and sorted by key below before use
 	for k, v := range m {
 		out = append(out, [2]string{k, v})
 	}

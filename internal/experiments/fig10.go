@@ -164,6 +164,7 @@ func Fig10(cfg Config) (Result, error) {
 			Precision:     map[string]float64{},
 			Recall:        map[string]float64{},
 		}
+		//lint:sorted writes into maps keyed by the range key; no cross-key state
 		for name, pr := range sums {
 			row.Precision[name] = pr[0][i]
 			row.Recall[name] = pr[1][i]

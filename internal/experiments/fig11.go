@@ -85,6 +85,7 @@ func Fig11(cfg Config) (Result, error) {
 	}
 
 	sums := map[string][2][]float64{}
+	//lint:sorted variants run independently with per-run seeds and land in per-name slots
 	for name, instCfg := range variants {
 		precs := make([][]float64, runs)
 		recs := make([][]float64, runs)
@@ -115,6 +116,7 @@ func Fig11(cfg Config) (Result, error) {
 			Precision:     map[string]float64{},
 			Recall:        map[string]float64{},
 		}
+		//lint:sorted writes into maps keyed by the range key; no cross-key state
 		for name, pr := range sums {
 			row.Precision[name] = pr[0][i]
 			row.Recall[name] = pr[1][i]

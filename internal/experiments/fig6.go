@@ -91,8 +91,10 @@ func Fig6(cfg Config) (Result, error) {
 		e := engineFor(d.Network)
 		s := sampling.NewSampler(e, sampling.DefaultConfig(), rng)
 		store := sampling.NewStore(d.Network.NumCandidates(), math.MaxInt32)
+		//lint:ignore determinism fig6 measures wall-clock sampling latency; timing is this figure's output
 		start := time.Now()
 		s.SampleInto(store, nil, nil, samples)
+		//lint:ignore determinism elapsed wall-clock time is the quantity fig6 reports
 		elapsed := time.Since(start)
 		rows = append(rows, Fig6Row{
 			Correspondences: d.Network.NumCandidates(),

@@ -208,12 +208,14 @@ func Fig9(cfg Config) (Result, error) {
 			Uncertainty:   map[string]float64{},
 			Precision:     map[string]float64{},
 		}
+		//lint:sorted writes into maps keyed by the range key; no cross-key state
 		for name, a := range means {
 			row.Uncertainty[name] = a.h[k]
 			row.Precision[name] = a.p[k]
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	//lint:sorted writes into a map keyed by the range key; no cross-key state
 	for name, a := range means {
 		eff := 100.0
 		for k := 0; k <= n; k++ {

@@ -89,6 +89,7 @@ func (g *Graph) Degree(v int) int {
 func (g *Graph) Neighbors(v int) []int {
 	g.checkVertex(v)
 	out := make([]int, 0, len(g.adj[v]))
+	//lint:sorted neighbors are collected and sorted (sort.Ints below) before returning
 	for u := range g.adj[v] {
 		out = append(out, u)
 	}
@@ -103,6 +104,7 @@ type Edge struct{ U, V int }
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := 0; u < g.n; u++ {
+		//lint:sorted edges are collected and sorted lexicographically below before returning
 		for v := range g.adj[u] {
 			if u < v {
 				out = append(out, Edge{u, v})
@@ -122,6 +124,7 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	for u := 0; u < g.n; u++ {
+		//lint:sorted AddEdge inserts into adjacency sets; insertion order cannot affect the copy
 		for v := range g.adj[u] {
 			if u < v {
 				c.AddEdge(u, v)
@@ -228,6 +231,7 @@ func (g *Graph) ConnectedComponents() [][]int {
 			v := queue[0]
 			queue = queue[1:]
 			comp = append(comp, v)
+			//lint:sorted visit order only fills a seen-set and a component that is sorted below
 			for u := range g.adj[v] {
 				if !seen[u] {
 					seen[u] = true
@@ -260,6 +264,7 @@ func (g *Graph) BFSDistances(src int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
+		//lint:sorted BFS level order fixes every distance regardless of neighbor order
 		for u := range g.adj[v] {
 			if dist[u] < 0 {
 				dist[u] = dist[v] + 1

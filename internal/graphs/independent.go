@@ -20,6 +20,7 @@ func (g *Graph) MaximumIndependentSet() []int {
 
 	deg := func(v int) int {
 		d := 0
+		//lint:sorted counts alive neighbors; a count is order-insensitive
 		for u := range g.adj[v] {
 			if alive[u] {
 				d++
@@ -63,6 +64,7 @@ func (g *Graph) MaximumIndependentSet() []int {
 					progress = true
 				} else if d == 1 {
 					var rem []int
+					//lint:sorted d == 1 guarantees exactly one alive neighbor is collected
 					for u := range g.adj[v] {
 						if alive[u] {
 							alive[u] = false
@@ -116,6 +118,7 @@ func (g *Graph) MaximumIndependentSet() []int {
 		// Branch 1: include pick (remove it and its neighbors).
 		var removed []int
 		alive[pick] = false
+		//lint:sorted removes a neighbor set; flag flips and the undo restore are commutative
 		for u := range g.adj[pick] {
 			if alive[u] {
 				alive[u] = false
@@ -175,6 +178,7 @@ func (g *Graph) GreedyIndependentSet(rng *rand.Rand) []int {
 		out = append(out, pick)
 		// Remove pick and neighbors.
 		kill := []int{pick}
+		//lint:sorted collects a removal set; the per-vertex removals below are commutative
 		for u := range g.adj[pick] {
 			if alive[u] {
 				kill = append(kill, u)
@@ -186,6 +190,7 @@ func (g *Graph) GreedyIndependentSet(rng *rand.Rand) []int {
 			}
 			alive[v] = false
 			remaining--
+			//lint:sorted decrements neighbor degrees; the decrements are commutative
 			for u := range g.adj[v] {
 				if alive[u] {
 					degree[u]--

@@ -104,9 +104,7 @@ func (st *Store) GrowUniverse(n int, local []int32) {
 		inst.Grow(n)
 	}
 	if (n+63)/64 != oldWords {
-		for k := range st.index {
-			delete(st.index, k)
-		}
+		clear(st.index)
 		for i, inst := range st.instances {
 			fp := inst.Fingerprint()
 			st.fps[i] = fp
@@ -247,9 +245,7 @@ func (st *Store) ApplyAssertion(c int, approved bool) {
 	st.mustTrack(c)
 	kept := st.instances[:0]
 	fps := st.fps[:0]
-	for k := range st.index {
-		delete(st.index, k)
-	}
+	clear(st.index)
 	for i, inst := range st.instances {
 		if inst.Has(c) == approved {
 			fp := st.fps[i]
@@ -285,9 +281,7 @@ func (st *Store) ApplyAssertionExact(c int, approved bool, isMaximal func(*bitse
 	// Stripping rewrites instance bits, so fingerprints are recomputed
 	// rather than carried over as the plain compaction does.
 	st.fps = st.fps[:0]
-	for k := range st.index {
-		delete(st.index, k)
-	}
+	clear(st.index)
 	for i, inst := range st.instances {
 		fp := inst.Fingerprint()
 		st.fps = append(st.fps, fp)

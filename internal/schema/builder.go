@@ -147,6 +147,7 @@ func (b *Builder) Build() (*Network, error) {
 		}
 	}
 	cands := make([]Correspondence, 0, len(merged))
+	//lint:sorted candidates are collected and sorted by attribute pair below before numbering
 	for pair, conf := range merged {
 		cands = append(cands, Correspondence{A: pair[0], B: pair[1], Confidence: conf})
 	}

@@ -35,6 +35,7 @@ func (n *Network) Clone() *Network {
 			c.byAttr[a] = append([]int(nil), idxs...)
 		}
 	}
+	//lint:sorted copies a map keyed by the range key; no cross-key state
 	for k, v := range n.pairIdx {
 		c.pairIdx[k] = v
 	}

@@ -51,6 +51,7 @@ func (m *Matching) Size() int { return len(m.pairs) }
 // Pairs returns the pairs in deterministic (sorted) order.
 func (m *Matching) Pairs() [][2]AttrID {
 	out := make([][2]AttrID, 0, len(m.pairs))
+	//lint:sorted pairs are collected and sorted below before returning
 	for p := range m.pairs {
 		out = append(out, p)
 	}
@@ -66,6 +67,7 @@ func (m *Matching) Pairs() [][2]AttrID {
 // Clone returns an independent copy.
 func (m *Matching) Clone() *Matching {
 	c := NewMatching()
+	//lint:sorted copies a set; insertion order cannot affect it
 	for p := range m.pairs {
 		c.pairs[p] = true
 	}
@@ -79,6 +81,7 @@ func (m *Matching) IntersectionSize(o *Matching) int {
 		small, large = o, m
 	}
 	n := 0
+	//lint:sorted counts intersections; a count is order-insensitive
 	for p := range small.pairs {
 		if large.pairs[p] {
 			n++
@@ -91,6 +94,7 @@ func (m *Matching) IntersectionSize(o *Matching) int {
 // dropping pairs that are not candidates. The result is sorted.
 func (m *Matching) CandidateIndices(net *Network) []int {
 	var out []int
+	//lint:sorted indices are collected and sorted (sort.Ints below) before returning
 	for p := range m.pairs {
 		if i := net.CandidateIndex(p[0], p[1]); i >= 0 {
 			out = append(out, i)

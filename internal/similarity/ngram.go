@@ -19,6 +19,7 @@ func QGrams(s string, q int) map[string]int {
 }
 
 func gramOverlap(a, b map[string]int) (overlap, sizeA, sizeB int) {
+	//lint:sorted integer sum and min-fold over gram counts; exact and commutative
 	for g, ca := range a {
 		sizeA += ca
 		if cb, ok := b[g]; ok {
@@ -29,6 +30,7 @@ func gramOverlap(a, b map[string]int) (overlap, sizeA, sizeB int) {
 			}
 		}
 	}
+	//lint:sorted integer sum; exact and commutative
 	for _, cb := range b {
 		sizeB += cb
 	}
@@ -91,6 +93,7 @@ func TokenJaccard(a, b string) float64 {
 		setB[t] = true
 	}
 	inter := 0
+	//lint:sorted counts set intersections; a count is order-insensitive
 	for t := range setA {
 		if setB[t] {
 			inter++

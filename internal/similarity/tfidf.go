@@ -97,6 +97,7 @@ func (c *Corpus) vector(name string) vector {
 		tf[t]++
 	}
 	toks := make([]string, 0, len(tf))
+	//lint:sorted terms are collected and sorted (sort.Strings below) before the float fold
 	for t := range tf {
 		toks = append(toks, t)
 	}
