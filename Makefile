@@ -16,10 +16,18 @@ COUNT     ?= 3
 BENCHCPUS ?= 1,2,4
 BENCHJSON ?=
 
+# bench-suggest knobs: optional JSON summary path (the CI multicore job
+# writes BENCH_suggest.json from it; empty = text only) and the
+# iteration count. Suggest-per-assert is a warm steady-state metric —
+# one iteration measures only the cold first rank — so the default runs
+# enough asserts to reach the pruned path's steady state.
+SUGGESTJSON ?=
+SUGGESTTIME ?= 200x
+
 # fuzz knob: how long `make fuzz` mutates each target.
 FUZZTIME ?= 20s
 
-.PHONY: all vet lint build test bench bench-smoke bench-throughput race examples fuzz
+.PHONY: all vet lint build test bench bench-smoke bench-suggest bench-throughput race examples fuzz
 
 all: vet lint build test
 
@@ -60,6 +68,11 @@ bench-smoke:
 	# Incremental topology cost: one late schema / one component-merging
 	# candidate batch on a live session vs recompiling the world.
 	$(GO) test -run '^$$' -bench 'BenchmarkAddSchema|BenchmarkAddCandidatesMerge' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
+	# Lazy top-k ranking: suggest-per-assert (assert off the clock,
+	# pruned vs the ExhaustiveRank escape hatch) plus the core-layer
+	# gain-pass microbenchmark.
+	$(GO) test -run '^$$' -bench 'BenchmarkSuggestHot' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | $(GO) run ./cmd/benchmedian
+	$(GO) test -run '^$$' -bench 'BenchmarkTopGainPass' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) ./internal/core | $(GO) run ./cmd/benchmedian
 
 # Multi-core throughput rig: the Throughput benchmarks at each GOMAXPROCS
 # in BENCHCPUS, reported as medians plus a scaling table (ratio vs the
@@ -68,6 +81,14 @@ bench-smoke:
 bench-throughput:
 	$(GO) test -run '^$$' -bench 'BenchmarkThroughput' -cpu $(BENCHCPUS) -benchtime $(BENCHTIME) -count $(COUNT) . | \
 		$(GO) run ./cmd/benchmedian $(if $(BENCHJSON),-json $(BENCHJSON))
+
+# Lazy top-k acceptance rig: BenchmarkSuggestHot medians (pruned vs
+# the ExhaustiveRank escape hatch) on the multicomp and hub-heavy
+# merged profiles. Set SUGGESTJSON=path.json for the machine-readable
+# summary (CI archives it as BENCH_suggest.json).
+bench-suggest:
+	$(GO) test -run '^$$' -bench 'BenchmarkSuggestHot' -benchmem -benchtime $(SUGGESTTIME) -count $(COUNT) . | \
+		$(GO) run ./cmd/benchmedian $(if $(SUGGESTJSON),-json $(SUGGESTJSON))
 
 # Run every example main once — a smoke test that the public API
 # surface the examples exercise keeps working end to end.

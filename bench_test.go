@@ -726,6 +726,75 @@ func benchBudgetAssertOnly(b *testing.B, d *schemanet.Dataset, opts schemanet.Op
 	b.ReportMetric(float64(emissions)/float64(b.N), "emissions/op")
 }
 
+// benchSuggestHot times the Suggest half of the pay-as-you-go loop:
+// every iteration is one ranked suggestion, and the assertion that
+// stales the ranking happens off the clock — so the number isolates
+// the top-k re-rank (plus snapshot/strategy plumbing) that
+// Options.ExhaustiveRank toggles between the lazy bound-pruned
+// evaluator and the full gain pass.
+func benchSuggestHot(b *testing.B, d *schemanet.Dataset, opts schemanet.Options) {
+	b.Helper()
+	net := d.Network
+	newSession := func(seed int64) *schemanet.Session {
+		o := opts
+		o.Seed = seed
+		s, err := schemanet.NewSession(net, &o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := newSession(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, ok := s.Suggest()
+		b.StopTimer()
+		if !ok {
+			s = newSession(int64(i))
+			b.StartTimer()
+			c, ok = s.Suggest()
+			b.StopTimer()
+			if !ok {
+				b.Fatal("fresh session has nothing to suggest")
+			}
+		}
+		if err := s.Assert(c, d.GroundTruth.ContainsCorrespondence(net.Candidate(c))); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSuggestHot is the lazy top-k acceptance benchmark:
+// suggest-per-assert with the assert off the clock, pruned ranking
+// against the exhaustive escape hatch, on the small-component-heavy
+// multicomp profile and the hub-heavy merged profile. The two paths
+// return bit-identical suggestions (topk_differential_test.go), so the
+// ratio is pure ranking cost.
+func BenchmarkSuggestHot(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	multi, err := datagen.SyntheticNetwork(datagen.MultiComp(), datagen.SyntheticOpts{
+		TargetCount: 512, Precision: 0.67, ConflictBias: 0.3, StrictCount: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	merged := benchMultiComponentDataset(b, 512, 4)
+	for _, w := range []struct {
+		name string
+		d    *schemanet.Dataset
+	}{{"multicomp/C=512", multi}, {"merged/C=512", merged}} {
+		for _, mode := range []struct {
+			name       string
+			exhaustive bool
+		}{{"rank=pruned", false}, {"rank=exhaustive", true}} {
+			b.Run(w.name+"/"+mode.name, func(b *testing.B) {
+				benchSuggestHot(b, w.d, schemanet.Options{ExhaustiveRank: mode.exhaustive})
+			})
+		}
+	}
+}
+
 // BenchmarkSessionAssertBP is the same step cost on a matcher-produced
 // (rather than synthetic) candidate set.
 func BenchmarkSessionAssertBP(b *testing.B) {

@@ -27,14 +27,23 @@ import (
 //     component. Assertions on different components proceed in
 //     parallel (view maintenance, resampling, and re-ranking are all
 //     component-local); assertions on the same component serialize.
-//   - Gain re-ranking is *deferred*: a write publishes a cheap
-//     probabilities-only snapshot (probability and uncertainty reads
-//     stay fresh) and the next Suggest re-ranks just the components
-//     whose published snapshot is unranked, under their locks. A burst
-//     of assertions between suggestions pays for one re-rank instead
-//     of one per assertion, and assert-only workloads never re-rank at
-//     all. The ranking is a deterministic function of component state,
-//     so suggestions are exactly what eager re-ranking would produce.
+//   - Snapshot publication is *coalesced*: a single Assert only marks
+//     its component dirty; the next reader that touches the component
+//     republishes once, under the component's lock, no matter how many
+//     assertions landed in between. A burst of assertions between
+//     reads pays for one publication instead of one per assertion
+//     (ROADMAP item 2), and reads remain fresh — a dirty load upgrades
+//     before serving. Batch writes publish eagerly (once per touched
+//     component per batch) since the batch already amortizes the cost.
+//   - Gain re-ranking is *deferred* further still: publications are
+//     probs-only, and the next Suggest re-ranks just the components
+//     whose published snapshot is unranked — through the lazy
+//     bound-pruned top-k evaluator (core.PMN.TopGains), skipping
+//     entirely any component whose entropy term cannot reach the best
+//     gain already found. Assert-only workloads never re-rank at all.
+//     The ranking is a deterministic function of component state, so
+//     suggestions are exactly what eager exhaustive re-ranking would
+//     produce (Options.ExhaustiveRank forces the legacy pass).
 //   - Each component samples from its own deterministic rng stream
 //     (seeded from the session seed at construction), so a
 //     component-disjoint assertion schedule produces probabilities
@@ -71,6 +80,13 @@ type ConcurrentSession struct {
 	// everything else only ever Loads. The Ranked flag travels on the
 	// snapshot itself, so flag and data swap in one atomic store.
 	snaps []atomic.Pointer[core.ComponentSnapshot]
+	// dirty[k] records that component k's state has advanced past its
+	// published snapshot: single Asserts set it instead of publishing,
+	// and the next reader that needs component k republishes under
+	// locks[k] — storing the fresh snapshot *before* clearing the flag,
+	// so a reader that observes dirty[k] == false is guaranteed to load
+	// a snapshot at least as fresh as the clearing writer's.
+	dirty []atomic.Bool
 	// feedMu guards the PMN-global feedback (history + F±): recording
 	// is cheap and strictly serialized, while the expensive
 	// component maintenance reads only component-local feedback masks.
@@ -105,6 +121,7 @@ func (s *Session) Concurrent() *ConcurrentSession {
 		pmn:     s.pmn,
 		locks:   make([]sync.Mutex, n),
 		snaps:   make([]atomic.Pointer[core.ComponentSnapshot], n),
+		dirty:   make([]atomic.Bool, n),
 		workers: s.workers,
 		// The suggestion stream is deliberately distinct from the
 		// session rng: the component samplers may share the session rng
@@ -112,13 +129,22 @@ func (s *Session) Concurrent() *ConcurrentSession {
 		// perturb (or race with) sampling draws.
 		sugRng: rand.New(rand.NewSource(s.seed ^ 0x5eed5a17)),
 	}
-	// A fresh session is gain-stale everywhere: one worker-sharded cold
-	// ranking pass (the serial path's machinery) beats ranking each
-	// component sequentially in the snapshot loop, which then finds
-	// every component already ranked.
-	s.pmn.InformationGains()
+	if s.pmn.ExhaustiveRank() {
+		// A fresh session is gain-stale everywhere: one worker-sharded
+		// cold ranking pass (the serial path's machinery) beats ranking
+		// each component sequentially in the snapshot loop, which then
+		// finds every component already ranked.
+		s.pmn.InformationGains()
+		for k := 0; k < n; k++ {
+			cs.snaps[k].Store(s.pmn.SnapshotComponent(k))
+		}
+		return cs
+	}
+	// Lazy mode: publish probs-only snapshots and let the first Suggest
+	// rank on demand — the entropy-ordered skip rule then prunes most
+	// components without ever ranking them.
 	for k := 0; k < n; k++ {
-		cs.snaps[k].Store(s.pmn.SnapshotComponent(k))
+		cs.snaps[k].Store(s.pmn.SnapshotComponentProbs(k))
 	}
 	return cs
 }
@@ -192,30 +218,59 @@ func (cs *ConcurrentSession) Violations() int {
 }
 
 // Probability returns the current probability of candidate c from the
-// owning component's published snapshot, without blocking on writers.
-// It returns ErrUnknownCandidate (wrapped) for an out-of-universe c.
+// owning component's published snapshot. The common path is lock-free;
+// when coalesced assertions have left the component's publication
+// behind (see dirty), the read republishes once under the component's
+// lock first, so completed assertions are always visible. It returns
+// ErrUnknownCandidate (wrapped) for an out-of-universe c.
 func (cs *ConcurrentSession) Probability(c int) (float64, error) {
 	cs.topoMu.RLock()
 	defer cs.topoMu.RUnlock()
 	if err := cs.s.checkCandidate(c); err != nil {
 		return 0, err
 	}
-	snap := cs.snaps[cs.pmn.ComponentOf(c)].Load()
+	snap := cs.loadFresh(cs.pmn.ComponentOf(c))
 	return snap.ProbabilityAt(cs.pmn.LocalIndex(c)), nil
 }
 
 // Uncertainty returns the network uncertainty H(C, P) (Equation 3) as
-// the sum of the published per-component entropy terms. Each term is
-// internally consistent; the sum reflects each component's most
-// recently published state rather than one global instant.
+// the sum of the published per-component entropy terms, republishing
+// any component whose publication was deferred by coalescing. Each
+// term is internally consistent; the sum reflects each component's
+// most recently published state rather than one global instant.
 func (cs *ConcurrentSession) Uncertainty() float64 {
 	cs.topoMu.RLock()
 	defer cs.topoMu.RUnlock()
 	h := 0.0
 	for k := range cs.snaps {
-		h += cs.snaps[k].Load().Entropy()
+		h += cs.loadFresh(k).Entropy()
 	}
 	return h
+}
+
+// loadFresh returns component k's published snapshot, first
+// republishing it if coalesced assertions marked it dirty.
+func (cs *ConcurrentSession) loadFresh(k int) *core.ComponentSnapshot {
+	if cs.dirty[k].Load() {
+		return cs.refreshComponent(k)
+	}
+	return cs.snaps[k].Load()
+}
+
+// refreshComponent publishes a fresh probs-only snapshot of component
+// k under its lock, clearing the dirty flag. Double-checked: a racing
+// refresh may already have republished, in which case the current
+// snapshot is returned as is.
+func (cs *ConcurrentSession) refreshComponent(k int) *core.ComponentSnapshot {
+	cs.locks[k].Lock()
+	defer cs.locks[k].Unlock()
+	if !cs.dirty[k].Load() {
+		return cs.snaps[k].Load()
+	}
+	snap := cs.pmn.SnapshotComponentProbs(k)
+	cs.snaps[k].Store(snap)
+	cs.dirty[k].Store(false)
+	return snap
 }
 
 // Suggest returns the candidate whose assertion is expected to reduce
@@ -228,28 +283,61 @@ func (cs *ConcurrentSession) Uncertainty() float64 {
 func (cs *ConcurrentSession) Suggest() (c int, ok bool) {
 	cs.topoMu.RLock()
 	defer cs.topoMu.RUnlock()
+	lazy := !cs.pmn.ExhaustiveRank()
 	best := -1.0
-	var ties []int
 	nUnasserted := 0
 	snaps := make([]*core.ComponentSnapshot, len(cs.snaps))
+	var pending []int
 	for k := range cs.snaps {
-		snap := cs.snaps[k].Load()
-		if !snap.Ranked() {
-			snap = cs.rankComponent(k)
-		}
+		snap := cs.loadFresh(k)
 		snaps[k] = snap
 		nUnasserted += len(snap.Unasserted())
-		compBest, g := snap.Best()
-		switch {
-		case len(compBest) == 0:
-		case g > best:
+		if !snap.Ranked() {
+			pending = append(pending, k)
+			continue
+		}
+		if compBest, g := snap.Best(); len(compBest) > 0 && g > best {
 			best = g
-			ties = append(ties[:0], compBest...)
-		case g == best:
-			ties = append(ties, compBest...)
 		}
 	}
-	if len(ties) > 0 {
+	// Rank the unranked components highest-entropy-term first: H_k is an
+	// upper bound on any member's gain, so once the running best exceeds
+	// a component's entropy term (strictly, beyond the fp margin) the
+	// component cannot contribute a maximum or a tie and is skipped
+	// without any ranking work — left unranked for a later Suggest to
+	// revisit if the bar ever drops. The skip is gated on lazy mode so
+	// Options.ExhaustiveRank keeps the legacy rank-everything behavior.
+	sort.Slice(pending, func(a, b int) bool {
+		ea, eb := snaps[pending[a]].Entropy(), snaps[pending[b]].Entropy()
+		if ea != eb {
+			return ea > eb
+		}
+		return pending[a] < pending[b]
+	})
+	for _, k := range pending {
+		if lazy && snaps[k].Entropy() < best-core.PruneMargin(best) {
+			continue
+		}
+		snap := cs.rankComponent(k)
+		snaps[k] = snap
+		if compBest, g := snap.Best(); len(compBest) > 0 && g > best {
+			best = g
+		}
+	}
+	if best >= 0 {
+		// Merge the tie sets in ascending component order — the same
+		// concatenation the eager rank-everything loop produced, so the
+		// tie-break draw lands on the same candidate for the same rng
+		// state. Components skipped above cannot hold a tie: every member
+		// gain is bounded by the entropy term the skip compared.
+		var ties []int
+		for _, snap := range snaps {
+			if snap.Ranked() {
+				if compBest, g := snap.Best(); g == best {
+					ties = append(ties, compBest...)
+				}
+			}
+		}
 		return ties[cs.intn(len(ties))], true
 	}
 	if nUnasserted == 0 {
@@ -271,18 +359,22 @@ func (cs *ConcurrentSession) Suggest() (c int, ok bool) {
 }
 
 // rankComponent upgrades component k's published snapshot to a ranked
-// one under the component's lock: re-rank the (stale) gains, publish,
-// return. Double-checked — a concurrent Suggest or a write that raced
-// us may have published a ranked snapshot first, in which case the
-// re-rank is already paid and the current snapshot is returned as is.
+// one under the component's lock, through the lazy bound-pruned top-k
+// evaluator (SnapshotComponentTop; the exhaustive pass under
+// Options.ExhaustiveRank). Double-checked — a concurrent Suggest or a
+// write that raced us may have published a current ranked snapshot
+// first, in which case the re-rank is already paid and the snapshot is
+// returned as is. A set dirty flag defeats the short-circuit: it means
+// assertions landed after that publication.
 func (cs *ConcurrentSession) rankComponent(k int) *core.ComponentSnapshot {
 	cs.locks[k].Lock()
 	defer cs.locks[k].Unlock()
-	if snap := cs.snaps[k].Load(); snap.Ranked() {
+	if snap := cs.snaps[k].Load(); snap.Ranked() && !cs.dirty[k].Load() {
 		return snap
 	}
-	snap := cs.pmn.SnapshotComponent(k)
+	snap := cs.pmn.SnapshotComponentTop(k)
 	cs.snaps[k].Store(snap)
+	cs.dirty[k].Store(false)
 	return snap
 }
 
@@ -296,12 +388,13 @@ func (cs *ConcurrentSession) intn(n int) int {
 // Assert integrates an expert statement about candidate c: the global
 // feedback record is serialized under a short lock, the expensive view
 // maintenance and resampling run under the owning component's lock
-// only, and a fresh probs-only snapshot is published before the lock
-// is released (gain re-ranking is deferred to the next Suggest; see
-// rankComponent). Assertions touching different components proceed in
-// parallel. It returns ErrUnknownCandidate
-// (wrapped) for an out-of-universe c and an error when c was already
-// asserted (no state changes).
+// only, and publication is coalesced — the component is marked dirty
+// and the next reader that touches it publishes one snapshot for the
+// whole burst of assertions (gain re-ranking is deferred further
+// still, to the next Suggest; see rankComponent). Assertions touching
+// different components proceed in parallel. It returns
+// ErrUnknownCandidate (wrapped) for an out-of-universe c and an error
+// when c was already asserted (no state changes).
 func (cs *ConcurrentSession) Assert(c int, correct bool) error {
 	cs.topoMu.RLock()
 	defer cs.topoMu.RUnlock()
@@ -318,7 +411,10 @@ func (cs *ConcurrentSession) Assert(c int, correct bool) error {
 		return err
 	}
 	cs.pmn.ApplyAssertions(k, []Assertion{{Cand: c, Approved: correct}})
-	cs.snaps[k].Store(cs.pmn.SnapshotComponentProbs(k))
+	// Coalesced publication (ROADMAP item 2): mark the component dirty
+	// instead of building a snapshot here — the next reader that touches
+	// it republishes once for the whole burst of assertions.
+	cs.dirty[k].Store(true)
 	return nil
 }
 
@@ -398,13 +494,17 @@ func (cs *ConcurrentSession) AssertBatch(assertions []Assertion) error {
 }
 
 // applyGroup runs one component's share of a batch under its lock and
-// publishes the fresh probs-only snapshot (ranking is deferred to the
-// next Suggest; see rankComponent).
+// publishes the fresh probs-only snapshot — one publication per
+// touched component per batch, however large the group (ranking is
+// deferred to the next Suggest; see rankComponent). The store precedes
+// the dirty clear so readers that observe the clear also observe the
+// snapshot.
 func (cs *ConcurrentSession) applyGroup(k int, as []Assertion) {
 	cs.locks[k].Lock()
 	defer cs.locks[k].Unlock()
 	cs.pmn.ApplyAssertions(k, as)
 	cs.snaps[k].Store(cs.pmn.SnapshotComponentProbs(k))
+	cs.dirty[k].Store(false)
 }
 
 // Effort returns the fraction of candidates asserted so far.
@@ -493,15 +593,20 @@ func (cs *ConcurrentSession) rebuildTables(carried map[int]int) {
 	nk := cs.pmn.NumComponents()
 	old := cs.snaps
 	snaps := make([]atomic.Pointer[core.ComponentSnapshot], nk)
+	dirty := make([]atomic.Bool, nk)
 	for k := 0; k < nk; k++ {
 		if k0, ok := carried[k]; ok {
+			// Carried components keep both the published snapshot and any
+			// pending coalesced-publication debt.
 			snaps[k].Store(old[k0].Load())
+			dirty[k].Store(cs.dirty[k0].Load())
 		} else {
 			snaps[k].Store(cs.pmn.SnapshotComponentProbs(k))
 		}
 	}
 	cs.locks = make([]sync.Mutex, nk)
 	cs.snaps = snaps
+	cs.dirty = dirty
 }
 
 // Instantiate derives a trusted matching from the current state (§V,

@@ -610,6 +610,13 @@ func TestConcurrentTopologyRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	nBase := net.NumCandidates()
+	// Captured up front: Network() returns the live network, which the
+	// grower below appends to in place — reading candidates from it
+	// mid-growth would race with the append.
+	baseCands := make([]schemanet.Correspondence, nBase)
+	for c := 0; c < nBase; c++ {
+		baseCands[c] = net.Candidate(c)
+	}
 	var wg sync.WaitGroup
 	// Asserters: each claims a disjoint slice of the base candidates.
 	for w := 0; w < 2; w++ {
@@ -617,8 +624,7 @@ func TestConcurrentTopologyRace(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for c := w; c < nBase; c += 2 {
-				cand := cs.Network().Candidate(c)
-				if err := cs.Assert(c, truth.ContainsCorrespondence(cand)); err != nil &&
+				if err := cs.Assert(c, truth.ContainsCorrespondence(baseCands[c])); err != nil &&
 					!errors.Is(err, schemanet.ErrCandidateRetired) {
 					t.Errorf("assert %d: %v", c, err)
 				}

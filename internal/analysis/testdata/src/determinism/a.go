@@ -95,3 +95,31 @@ func sliceRange(xs []int) int {
 	}
 	return s
 }
+
+// stridedWorkers is the lazy ranking's parallel shape: workers stride a
+// shared index range and write disjoint slots of a shared slice, each
+// slot a pure function of shared read-only integer state. No clock, no
+// global rand, no map order — silent, and schedule-independent.
+func stridedWorkers(counts []int, out []float64, workers int, done chan<- struct{}) {
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := w; i < len(counts); i += workers {
+				out[i] = float64(counts[i]) * 0.5
+			}
+			done <- struct{}{}
+		}(w)
+	}
+}
+
+// workerMapRange shows the analyzer reaches goroutine bodies: folding a
+// map inside a ranking worker is just as order-sensitive as folding it
+// inline.
+func workerMapRange(m map[int]float64, out chan<- float64) {
+	go func() {
+		s := 0.0
+		for _, v := range m { // want `map range in the deterministic core`
+			s += v
+		}
+		out <- s
+	}()
+}

@@ -140,6 +140,31 @@ func (st *SessionStore) storeInverted(ls *liveSession) {
 	defer st.mu.Unlock()
 }
 
+// suggestRankPattern is the lazy Suggest loop: under the topology read
+// lock, stale components are ranked in descending-entropy order — an
+// arbitrary index order — which is safe only because each component
+// lock is released before the next is taken. Silent.
+func (cs *ConcurrentSession) suggestRankPattern(pending []int) {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
+	for _, k := range pending {
+		cs.locks[k].Lock()
+		cs.locks[k].Unlock()
+	}
+}
+
+// rankHoldingPrevious shows why the release matters: ranking component
+// 1 while still holding component 2 (entropy order need not be
+// ascending) is the deadlock the released-between discipline prevents.
+func (cs *ConcurrentSession) rankHoldingPrevious() {
+	cs.topoMu.RLock()
+	defer cs.topoMu.RUnlock()
+	cs.locks[2].Lock()
+	defer cs.locks[2].Unlock()
+	cs.locks[1].Lock() // want `component lock 1 acquired while holding component lock 2`
+	cs.locks[1].Unlock()
+}
+
 // localMutex is untracked state; silent whatever the order.
 func (cs *ConcurrentSession) localMutex() {
 	var mu sync.Mutex

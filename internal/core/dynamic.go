@@ -160,6 +160,7 @@ func (p *PMN) TopologyChanged(oldN, retiredCand int) (map[int]int, error) {
 			}
 			c.inf.Grow(n, local)
 			c.rankScratch = nil
+			c.topScratch = nil
 			newComps[k] = c
 			newStale[k] = oldStale[k0]
 			carried[k] = k0

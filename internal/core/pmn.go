@@ -52,9 +52,19 @@ type Config struct {
 	// mode, which never overflows).
 	ExactBudget int
 	// Workers bounds the goroutines of the information-gain ranking
-	// pass (InformationGains). 0 means runtime.GOMAXPROCS(0); 1 forces
-	// a sequential pass.
+	// pass (InformationGains) and of the lazy top-k ranker's
+	// intra-component sharding (see topk.go). 0 means
+	// runtime.GOMAXPROCS(0); 1 forces a sequential pass.
 	Workers int
+	// ExhaustiveRank disables the lazy bound-pruned top-k suggestion
+	// ranking: Suggest-facing paths fall back to the legacy exhaustive
+	// per-component gain pass (EnsureComponentGains /
+	// InformationGains). The two paths produce bit-identical
+	// suggestions, tie sets, and gain values — the lazy ranker prunes
+	// only candidates whose upper bound proves they cannot reach the
+	// maximum (see DESIGN.md, "Lazy top-k ranking") — so the switch
+	// exists for differential testing and as an escape hatch.
+	ExhaustiveRank bool
 	// Monolithic disables component decomposition: the whole network is
 	// one sample space, as in the paper's Algorithm 1. The decomposed
 	// and monolithic paths are equivalent (identical probabilities under
@@ -110,6 +120,27 @@ type component struct {
 	// component (used only under the component's lock in concurrent
 	// serving), so the eager per-assertion re-rank does not re-allocate.
 	rankScratch *igScratch
+
+	// Lazy top-k ranking state (see topk.go). topTies/topGain cache the
+	// component's maximal-gain tie set; topFresh is its validity bit,
+	// cleared wherever gainsStale is set. The drift fields back the
+	// ranker's "previous gain plus delta" upper bound: driftTotal
+	// accumulates a provable per-pair mutual-information drift bound as
+	// assertions reshape the component's sample distribution, and
+	// driftEpoch invalidates wholesale on refill, promotion, or any
+	// other non-incremental store change. evalGain/evalDrift/evalEpoch
+	// record, per column, the gain and drift state at a candidate's last
+	// lazy evaluation. All of it is component-local and maintained under
+	// the same serialization as the rest of the component's state.
+	topTies    []int
+	topGain    float64
+	topFresh   bool
+	topScratch *topkScratch
+	driftTotal float64
+	driftEpoch uint64
+	evalGain   []float64
+	evalDrift  []float64
+	evalEpoch  []uint64
 }
 
 // store returns the live sample/instance container of the component's
@@ -172,6 +203,9 @@ func newComponent(engine *constraints.Engine, n int) *component {
 		approved:    bitset.New(n),
 		disapproved: bitset.New(n),
 		promoteBar:  -1,
+		// Epoch 1, not 0: zero-valued evalEpoch entries mean "never
+		// evaluated" and must not match a live epoch (see deltaBound).
+		driftEpoch: 1,
 	}
 }
 
@@ -340,8 +374,13 @@ func (p *PMN) Feedback() *Feedback { return p.feedback }
 func (p *PMN) InvalidateGains() {
 	for k := range p.gainsStale {
 		p.gainsStale[k] = true
+		p.comps[k].topFresh = false
 	}
 }
+
+// ExhaustiveRank reports whether the lazy top-k suggestion ranking is
+// disabled (Config.ExhaustiveRank).
+func (p *PMN) ExhaustiveRank() bool { return p.cfg.ExhaustiveRank }
 
 // Resamples returns the number of post-construction refill rounds
 // (component-scoped; one batch assertion triggers at most one per
@@ -376,6 +415,7 @@ func (p *PMN) LocalIndex(c int) int {
 func (p *PMN) recomputeComp(k int) {
 	p.gainsStale[k] = true
 	c := p.comps[k]
+	c.topFresh = false
 	c.store().ProbabilitiesInto(p.probs)
 	h := 0.0
 	if c.members == nil {
@@ -463,18 +503,42 @@ func (p *PMN) ApplyAssertions(k int, as []Assertion) {
 	cp := p.comps[k]
 	needRefill := false
 	for _, a := range as {
+		// Drift accounting for the lazy ranker's delta bound: snapshot
+		// the store geometry around the view maintenance. An exact
+		// disapproval is the one maintenance step that both removes and
+		// adds instances; every other path is a pure compaction, where
+		// the survivor count is simply the new size.
+		st := cp.store()
+		before := st.Size()
+		kept := -1 // -1: pure compaction, kept = size after
+		if !a.Approved && cp.inf.Mode() == InferExact {
+			with, _ := st.Partition(a.Cand)
+			kept = before - with
+		}
 		if p.integrate(cp, a.Cand, a.Approved) {
 			needRefill = true
 		}
+		after := cp.store().Size()
+		if kept < 0 {
+			kept = after
+		}
+		cp.noteDrift(before, after, kept, cp.freeCount(len(p.probs)))
 	}
 	// Promotion runs before the refill decision: if the shrunk component
 	// now enumerates within budget, the exact backend replaces the store
 	// outright and the pending resampling round is never paid — the
 	// "zero sampling resamples in the exact tail" property.
+	infBefore := cp.inf
 	p.maybePromote(k)
+	if cp.inf != infBefore {
+		// Promotion swapped the backend's store wholesale; previous
+		// evaluations no longer bound anything.
+		cp.driftEpoch++
+	}
 	if needRefill && cp.inf.Mode() != InferExact {
 		p.emissions.Add(int64(cp.inf.Refill()))
 		p.resamples.Add(1)
+		cp.driftEpoch++
 	}
 	p.recomputeComp(k)
 }

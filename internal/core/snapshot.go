@@ -77,6 +77,29 @@ func (p *PMN) SnapshotComponentProbs(k int) *ComponentSnapshot {
 	return p.snapshot(k, false)
 }
 
+// SnapshotComponentTop builds a ranked snapshot of component k through
+// the lazy bound-pruned top-k evaluator (TopGains) instead of a full
+// gain re-rank: Best carries the exact exhaustive tie set, but members
+// whose gain bound was dominated were never evaluated and the full gain
+// vector stays stale. Under Config.ExhaustiveRank it falls back to
+// SnapshotComponent. Serialization requirements are those of
+// SnapshotComponent.
+func (p *PMN) SnapshotComponentTop(k int) *ComponentSnapshot {
+	if p.cfg.ExhaustiveRank {
+		return p.SnapshotComponent(k)
+	}
+	ties, gain := p.TopGains(k)
+	snap := p.snapshot(k, false)
+	snap.ranked = true
+	snap.bestGain = gain
+	if len(ties) > 0 {
+		// Copy: the component's cached tie slice is rewritten by the next
+		// re-rank, while the snapshot must stay frozen.
+		snap.best = append([]int(nil), ties...)
+	}
+	return snap
+}
+
 func (p *PMN) snapshot(k int, withGains bool) *ComponentSnapshot {
 	cp := p.comps[k]
 	net := p.Network()

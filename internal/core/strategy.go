@@ -78,6 +78,16 @@ func (InfoGainStrategy) Name() string { return "info-gain" }
 
 // Next implements Strategy.
 func (InfoGainStrategy) Next(p *PMN, rng *rand.Rand) (int, bool) {
+	if !p.cfg.ExhaustiveRank {
+		// Lazy bound-pruned ranking: TopGainTies returns exactly the tie
+		// set the exhaustive scan below would collect (same ascending
+		// order), so the single uniform draw consumes the same rng state.
+		ties, _ := p.TopGainTies()
+		if len(ties) == 0 {
+			return fallback(p, rng)
+		}
+		return ties[rng.Intn(len(ties))], true
+	}
 	u := uncertainUnasserted(p)
 	if len(u) == 0 {
 		return fallback(p, rng)

@@ -37,6 +37,47 @@ type igScratch struct {
 	without  []int
 	tab      []float64 // tab[k] memoizes BinaryEntropy(k/total); -1 = unset
 	asserted []bool    // asserted[d] = feedback.IsAsserted(d), per-pass constant
+
+	// etab[total][cnt] is a persistent memo of BinaryEntropy(cnt/total)
+	// — a pure function of the integer pair, so entries never
+	// invalidate and survive across passes, assertions, and refills.
+	// The per-pass tab above amortizes log2 within one large partition;
+	// etab amortizes it across the lazy evaluator's many small subset
+	// partitions, whose (cnt, total) pairs repeat heavily from step to
+	// step. Scratches are per-worker, so lazy fills never race.
+	etab [][]float64
+}
+
+// etabRow returns (allocating on first use) the memo row of one
+// partition size, so per-partition loops hoist the outer-table probes.
+func (s *igScratch) etabRow(total int) []float64 {
+	if total >= len(s.etab) {
+		grown := make([][]float64, total+1)
+		copy(grown, s.etab)
+		s.etab = grown
+	}
+	row := s.etab[total]
+	if row == nil {
+		row = make([]float64, total+1)
+		for i := range row {
+			row[i] = -1
+		}
+		s.etab[total] = row
+	}
+	return row
+}
+
+// binEntAt returns BinaryEntropy(cnt/total) through the persistent
+// memo: the value is computed by the identical expression on a miss,
+// so a hit is bit-for-bit the same float64 the direct call returns.
+func (s *igScratch) binEntAt(cnt, total int) float64 {
+	row := s.etabRow(total)
+	if v := row[cnt]; v >= 0 {
+		return v // BinaryEntropy is non-negative; -1 marks unset
+	}
+	v := BinaryEntropy(float64(cnt) / float64(total))
+	row[cnt] = v
+	return v
 }
 
 func (p *PMN) newScratch(asserted []bool) *igScratch {
@@ -181,6 +222,31 @@ func (p *PMN) partitionEntropyOf(comp *component, counts []int, total int, s *ig
 			tab[cnt] = e
 		}
 		h += e
+	}
+	return h
+}
+
+// partitionEntropySubset is partitionEntropyOf restricted to a
+// pre-filtered subset of columns: the caller (the lazy top-k
+// evaluator) has already excluded asserted and certain members, so no
+// per-term mask probe or member dereference is needed. Every excluded
+// term is exactly 0.0 — asserted members are skipped by
+// partitionEntropyOf too, and a certain member's count is exactly 0 or
+// total in either sub-population, where BinaryEntropy returns 0.0 —
+// and x + 0.0 == x in IEEE arithmetic, so with counts listed in the
+// same (ascending-column) order the sum is bit-identical to the full
+// pass over the component.
+// The terms come from the persistent binEntAt memo rather than the
+// per-pass table: subset partitions are small (the uncertain set), so
+// a per-call table reset would dominate, while the (cnt, total) pairs
+// repeat across candidates and steps.
+func (p *PMN) partitionEntropySubset(counts []int, total int, s *igScratch) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, cnt := range counts {
+		h += s.binEntAt(cnt, total)
 	}
 	return h
 }

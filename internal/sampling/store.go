@@ -460,6 +460,57 @@ func (st *Store) CoCountsInto(c int, with, without []int) (nWith, nWithout int) 
 	return st.counts[jc], len(st.instances) - st.counts[jc]
 }
 
+// CoCountsSubsetInto is CoCountsInto restricted to a subset of tracked
+// columns: with[i] and without[i] receive the partition counts of
+// column subset[i]. The lazy ranking pass uses it to touch only the
+// uncertain, unasserted members of a component — every excluded column
+// would contribute an exactly-zero entropy term — so one candidate
+// evaluation costs O(|subset|·words) instead of O(m·words). The counts
+// are identical to the corresponding entries of CoCountsInto. c must be
+// tracked; subset entries must be valid column indices.
+func (st *Store) CoCountsSubsetInto(c int, subset []int, with, without []int) (nWith, nWithout int) {
+	st.mustTrack(c)
+	jc := st.columnOf(c)
+	colC := st.cols[jc]
+	for i, j := range subset {
+		w := bitset.AndCountWords(st.cols[j], colC)
+		with[i] = w
+		without[i] = st.counts[j] - w
+	}
+	return st.counts[jc], len(st.instances) - st.counts[jc]
+}
+
+// CoCountsBlockInto computes CoCountsSubsetInto for a block of
+// candidates in one sweep over the subset columns: each column's bit
+// vector is loaded once and intersected against every candidate in the
+// block, instead of once per candidate — the memory-locality win that
+// makes a batched lazy evaluation cheaper than popping candidates one
+// at a time when the columnar slab outgrows the L1 cache. with[b][i] /
+// without[b][i] receive the counts of cands[b] against column
+// subset[i]; nWith[b]/nWithout[b] the candidate's own partition sizes.
+// cols is caller scratch (len ≥ len(cands)) for the candidates' column
+// vectors. The counts are bit-identical to len(cands) separate
+// CoCountsSubsetInto calls.
+func (st *Store) CoCountsBlockInto(cands []int, subset []int, cols [][]uint64, with, without [][]int, nWith, nWithout []int) {
+	n := len(st.instances)
+	for b, c := range cands {
+		st.mustTrack(c)
+		jc := st.columnOf(c)
+		cols[b] = st.cols[jc]
+		nWith[b] = st.counts[jc]
+		nWithout[b] = n - st.counts[jc]
+	}
+	for i, j := range subset {
+		colJ := st.cols[j]
+		cnt := st.counts[j]
+		for b := range cands {
+			w := bitset.AndCountWords(colJ, cols[b])
+			with[b][i] = w
+			without[b][i] = cnt - w
+		}
+	}
+}
+
 // CondCounts returns, for every tracked candidate (column-indexed), the
 // number of instances that contain both c and that candidate (when
 // withC is true) or it but not c (when withC is false), together with

@@ -204,9 +204,17 @@ type Options struct {
 	// "least-certain", or "by-confidence".
 	Strategy string
 	// Workers bounds the goroutines of the information-gain ranking
-	// pass that backs Suggest. 0 uses all CPUs (GOMAXPROCS); 1 forces a
-	// sequential pass. Assertions and instantiation are unaffected.
+	// pass that backs Suggest — both the global pass and the
+	// intra-component sharding of the lazy top-k evaluator. 0 uses all
+	// CPUs (GOMAXPROCS); 1 forces a sequential pass. Assertions and
+	// instantiation are unaffected.
 	Workers int
+	// ExhaustiveRank disables the lazy bound-pruned top-k suggestion
+	// ranking and restores the legacy exhaustive gain pass. The two
+	// paths return bit-identical suggestions, tie sets, and gain values
+	// (see DESIGN.md, "Lazy top-k ranking"); the switch exists for
+	// differential testing and as an escape hatch.
+	ExhaustiveRank bool
 	// ExclusivePairs declares attribute pairs that must never be matched
 	// together (a custom MutualExclusion constraint on top of the
 	// paper's Γ).
@@ -438,6 +446,7 @@ func NewSession(net *Network, opts *Options) (*Session, error) {
 	cfg.ExactBudget = o.ExactBudget
 	cfg.Workers = o.Workers
 	cfg.Monolithic = o.Monolithic
+	cfg.ExhaustiveRank = o.ExhaustiveRank
 
 	rng := rand.New(rand.NewSource(o.Seed))
 	pmn, err := core.New(engine, cfg, rng)
